@@ -1,0 +1,54 @@
+//! Criterion bench for Table 1 operations (smaller dataset than the
+//! `repro_table1` binary, sized for statistical runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pse_bench::workloads::{build_table1_dataset, dav_rig, meta, teardown};
+use pse_dav::property::PropertyName;
+use pse_dav::Depth;
+use pse_dbm::DbmKind;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut rig = dav_rig("crit-t1", DbmKind::Gdbm);
+    build_table1_dataset(&mut rig.client, 20, 20, 512, 2048);
+    let selected: Vec<PropertyName> = (0..5).map(meta).collect();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+
+    group.bench_function("a_all_metadata_depth0", |b| {
+        b.iter(|| rig.client.propfind_all("/t1/doc-00", Depth::Zero).unwrap())
+    });
+    group.bench_function("b_selected_metadata_depth0", |b| {
+        b.iter(|| {
+            rig.client
+                .propfind("/t1/doc-00", Depth::Zero, &selected)
+                .unwrap()
+        })
+    });
+    group.bench_function("c_selected_depth1_20_objects", |b| {
+        b.iter(|| rig.client.propfind("/t1", Depth::One, &selected).unwrap())
+    });
+    group.bench_function("d_selected_one_at_a_time_20_objects", |b| {
+        b.iter(|| {
+            for i in 0..20 {
+                rig.client
+                    .propfind(&format!("/t1/doc-{i:02}"), Depth::Zero, &selected)
+                    .unwrap();
+            }
+        })
+    });
+    let mut n = 0u64;
+    group.bench_function("e_copy_then_remove_hierarchy", |b| {
+        b.iter(|| {
+            let dst = format!("/t1-copy-{n}");
+            n += 1;
+            rig.client.copy("/t1", &dst, false).unwrap();
+            rig.client.delete(&dst).unwrap();
+        })
+    });
+    group.finish();
+    teardown(rig);
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

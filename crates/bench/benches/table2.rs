@@ -1,0 +1,54 @@
+//! Criterion bench for Table 2: FTP vs HTTP PUT bulk transfer (2 MB
+//! payloads — the repro binary runs the paper's 20/200 MB sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pse_bench::workloads::{payload, scratch_dir};
+use pse_ftp::client::FtpClient;
+use pse_ftp::server::{FtpServer, FtpServerConfig};
+use pse_http::message::Response;
+use pse_http::server::{Server, ServerConfig};
+use pse_http::Client;
+
+const SIZE: usize = 2 * 1024 * 1024;
+
+fn bench_transfers(c: &mut Criterion) {
+    let work = scratch_dir("crit-t2");
+    let data = payload(SIZE);
+
+    let ftp = FtpServer::bind(
+        "127.0.0.1:0",
+        FtpServerConfig {
+            root: work.join("ftp"),
+            credentials: None,
+        },
+    )
+    .unwrap();
+    let mut fc = FtpClient::connect(ftp.local_addr()).unwrap();
+    fc.login("bench", "bench").unwrap();
+
+    let http = Server::bind("127.0.0.1:0", ServerConfig::default(), |req| {
+        std::hint::black_box(req.body.len());
+        Response::created()
+    })
+    .unwrap();
+    let mut hc = Client::connect(http.local_addr()).unwrap();
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(SIZE as u64));
+    group.bench_function("ftp_stor_2mb", |b| {
+        b.iter(|| fc.stor_bytes("bench.bin", &data).unwrap())
+    });
+    group.bench_function("http_put_2mb", |b| {
+        b.iter(|| hc.put("/bench.bin", data.clone()).unwrap())
+    });
+    group.finish();
+
+    let _ = fc.quit();
+    ftp.shutdown();
+    http.shutdown();
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+criterion_group!(benches, bench_transfers);
+criterion_main!(benches);

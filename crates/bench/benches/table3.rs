@@ -1,0 +1,57 @@
+//! Criterion bench for Table 3's hot cell: loading the UO2·15H2O
+//! calculation through both architectures (reduced output scale; the
+//! repro binary runs the full set behind the throttled LAN).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pse_bench::workloads::{build_table3_project, dav_rig, scratch_dir, teardown};
+use pse_dav::client::DavClient;
+use pse_dbm::DbmKind;
+use pse_ecce::davstore::DavEcceStore;
+use pse_ecce::dsi::DavStorage;
+use pse_ecce::oodbstore::OodbEcceStore;
+use pse_ecce::tools;
+
+fn bench_loads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(15);
+
+    // Ecce 2.0 path.
+    let rig = dav_rig("crit-t3", DbmKind::Gdbm);
+    let mut dav = DavEcceStore::open(
+        DavStorage::new(DavClient::connect(rig.server.local_addr()).unwrap()),
+        "/Ecce",
+    )
+    .unwrap();
+    let (dav_proj, dav_target) = build_table3_project(&mut dav, 0.1);
+    group.bench_function("dav_calcviewer_load", |b| {
+        b.iter(|| tools::calcviewer_load(&mut dav, &dav_target).unwrap())
+    });
+    group.bench_function("dav_calcmanager_summary", |b| {
+        b.iter(|| tools::calcmanager_load(&mut dav, &dav_target).unwrap())
+    });
+    group.bench_function("dav_builder_start", |b| {
+        b.iter(|| tools::builder_start(&mut dav, &dav_proj).unwrap())
+    });
+
+    // Ecce 1.5 path (embedded here; the repro binary uses the remote
+    // page server).
+    let dir = scratch_dir("crit-t3-oodb");
+    let mut oodb = OodbEcceStore::create(dir.join("db")).unwrap();
+    let (oodb_proj, oodb_target) = build_table3_project(&mut oodb, 0.1);
+    group.bench_function("oodb_calcviewer_load", |b| {
+        b.iter(|| tools::calcviewer_load(&mut oodb, &oodb_target).unwrap())
+    });
+    group.bench_function("oodb_calcmanager_summary", |b| {
+        b.iter(|| tools::calcmanager_load(&mut oodb, &oodb_target).unwrap())
+    });
+    group.bench_function("oodb_builder_start", |b| {
+        b.iter(|| tools::builder_start(&mut oodb, &oodb_proj).unwrap())
+    });
+    group.finish();
+
+    teardown(rig);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_loads);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Reproduce the **§3.2.4 migration study**: disk usage of the same
+//! Ecce dataset in the OODBMS vs the DAV repository with SDBM and GDBM.
+//!
+//! Paper result: "disk requirements increased by about 10% when using
+//! mod_dav with SDBM and 25% when using GDBM. The bulk of the increase
+//! was due to mod_dav: each document or collection that had metadata had
+//! an associated database file" with 8 KB / 25 KB initial sizes. The
+//! shape to reproduce: DAV > OODB on disk, and GDBM > SDBM, driven by
+//! per-resource DBM allocations.
+//!
+//! Default scale builds 24 calculations; `PSE_SCALE=full` builds the
+//! paper's 259.
+
+use pse_bench::harness::{full_scale, mb, Table};
+use pse_bench::workloads::scratch_dir;
+use pse_dav::fsrepo::{FsConfig, FsRepository};
+use pse_dav::handler::DavHandler;
+use pse_dav::repo::Repository;
+use pse_dbm::DbmKind;
+use pse_ecce::davstore::DavEcceStore;
+use pse_ecce::dsi::InProcStorage;
+use pse_ecce::factory::EcceStore;
+use pse_ecce::migrate::{self, PopulateConfig};
+use pse_ecce::oodbstore::OodbEcceStore;
+use std::sync::Arc;
+
+/// Count and size the `.DAV` metadata databases under a repository.
+fn dav_dir_stats(root: &std::path::Path) -> (usize, u64) {
+    fn walk(p: &std::path::Path, in_dav: bool, acc: &mut (usize, u64)) {
+        let Ok(rd) = std::fs::read_dir(p) else { return };
+        for entry in rd.flatten() {
+            let path = entry.path();
+            let is_dav = in_dav || entry.file_name() == ".DAV";
+            if path.is_dir() {
+                walk(&path, is_dav, acc);
+            } else if is_dav {
+                acc.0 += 1;
+                #[cfg(unix)]
+                {
+                    use std::os::unix::fs::MetadataExt;
+                    if let Ok(m) = entry.metadata() {
+                        acc.1 += m.blocks() * 512;
+                    }
+                }
+            }
+        }
+    }
+    let mut acc = (0, 0);
+    walk(root, false, &mut acc);
+    acc
+}
+
+fn main() {
+    let (projects, per_project) = if full_scale() { (7, 37) } else { (4, 6) };
+    let total = projects * per_project;
+    println!("Migration study — {total} calculations (PSE_SCALE=full for the paper's 259)\n");
+
+    let work = scratch_dir("migration");
+
+    // Source OODB.
+    println!("stage 0: populating the OODB source ...");
+    let mut source = OodbEcceStore::create(work.join("oodb")).unwrap();
+    let raw_dir = work.join("raw");
+    migrate::populate_oodb(
+        &mut source,
+        &PopulateConfig {
+            projects,
+            calcs_per_project: per_project,
+            output_scale: 0.4,
+            raw_dir: Some(raw_dir.clone()),
+        },
+    )
+    .unwrap();
+    let oodb_bytes = source.disk_usage().unwrap();
+    let object_count = source.db().len();
+
+    let mut table = Table::new(
+        "Migration disk usage: OODB vs DAV (SDBM / GDBM)",
+        &["store", "disk", "vs OODB"],
+    );
+    table.row(&[
+        format!("OODB ({object_count} objects)"),
+        mb(oodb_bytes),
+        "—".into(),
+    ]);
+
+    for kind in [DbmKind::Sdbm, DbmKind::Gdbm] {
+        println!("migrating into DAV repository with {} ...", kind.name());
+        let repo_dir = work.join(format!("dav-{}", kind.name()));
+        let repo = Arc::new(
+            FsRepository::create(
+                &repo_dir,
+                FsConfig {
+                    dbm_kind: kind,
+                    ..FsConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        // Keep a second handle for disk accounting; the handler is not
+        // needed since we migrate in-process.
+        let _handler = DavHandler::new(pse_dav::memrepo::MemRepository::new());
+        let mut target =
+            DavEcceStore::open(InProcStorage::new(Arc::clone(&repo)), "/Ecce").unwrap();
+        let report = migrate::migrate(&mut source, &mut target).unwrap();
+        assert_eq!(report.calculations, total);
+        let mismatches = migrate::verify(&mut source, &mut target).unwrap();
+        assert!(mismatches.is_empty(), "fidelity: {mismatches:?}");
+        let dav_bytes = repo.disk_usage().unwrap();
+        let delta = (dav_bytes as f64 / oodb_bytes as f64 - 1.0) * 100.0;
+        // Break out the cause: bytes sitting in per-resource DBM files.
+        let (dbm_files, dbm_bytes) = dav_dir_stats(&repo_dir);
+        table.row(&[
+            format!(
+                "DAV + {} ({dbm_files} DBM files, {} metadata)",
+                kind.name().to_uppercase(),
+                mb(dbm_bytes)
+            ),
+            mb(dav_bytes),
+            format!("{delta:+.0}%"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper shape: both DAV variants cost more disk than the OODB and \
+         SDBM < GDBM (+10% / +25% there), driven by one DBM file per \
+         metadata-bearing resource. Our synthetic calculations carry less \
+         bulk data per resource than the production Ecce databases, so the \
+         same per-file floors are a larger *fraction* here; the ordering \
+         and the cause are the reproduced result."
+    );
+    let _ = std::fs::remove_dir_all(&work);
+}

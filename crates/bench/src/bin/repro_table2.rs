@@ -1,0 +1,145 @@
+//! Reproduce **Table 2**: binary FTP vs HTTP PUT bulk transfer.
+//!
+//! Paper rows: FTP 20 MB mem→file, FTP 20 MB file→file, FTP 200 MB
+//! file→file, PUT 20 MB file→file, PUT 200 MB file→file. The paper's
+//! conclusion — "our implementation of HTTP/put performed comparably
+//! with a standard binary-mode FTP client … network bandwidth is the
+//! primary driver" — is the shape to reproduce.
+//!
+//! Default sizes are the paper's 20 MB and 200 MB; set `PSE_SCALE=quick`
+//! to divide by 10 for constrained machines.
+
+use pse_bench::harness::{measure, mb, secs, Table};
+use pse_bench::workloads::{payload, scratch_dir};
+use pse_ftp::client::FtpClient;
+use pse_ftp::server::{FtpServer, FtpServerConfig};
+use pse_http::client::Client;
+use pse_http::message::Response;
+use pse_http::server::{Server, ServerConfig};
+use pse_http::wire::Limits;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() {
+    let quick = std::env::var("PSE_SCALE").map(|v| v == "quick").unwrap_or(false);
+    let scale = if quick { 10 } else { 1 };
+    let small = 20 * 1024 * 1024 / scale;
+    let large = 200 * 1024 * 1024 / scale;
+    println!(
+        "Table 2 reproduction — loopback TCP; sizes {} and {}",
+        mb(small as u64),
+        mb(large as u64)
+    );
+
+    let work = scratch_dir("table2");
+    // Flush dirty pages so earlier workloads don't bleed writeback
+    // throttling into the measurements.
+    let flush = || {
+        let _ = std::process::Command::new("sync").status();
+    };
+    flush();
+
+    // Local source files.
+    println!("staging source files ...");
+    let src_small = work.join("src-small.bin");
+    let src_large = work.join("src-large.bin");
+    std::fs::write(&src_small, payload(small)).unwrap();
+    std::fs::write(&src_large, payload(large)).unwrap();
+
+    // ---- FTP ----
+    let ftp_root = work.join("ftp-root");
+    let ftp = FtpServer::bind(
+        "127.0.0.1:0",
+        FtpServerConfig {
+            root: ftp_root.clone(),
+            credentials: None,
+        },
+    )
+    .unwrap();
+    let mut fc = FtpClient::connect(ftp.local_addr()).unwrap();
+    fc.login("bench", "bench").unwrap();
+
+    let mem_payload = payload(small);
+    let (_, ftp_mem_small) = measure(|| fc.stor_bytes("mem-small.bin", &mem_payload).unwrap());
+    let (_, ftp_file_small) = measure(|| fc.stor_file("file-small.bin", &src_small).unwrap());
+    let (_, ftp_file_large) = measure(|| fc.stor_file("file-large.bin", &src_large).unwrap());
+    fc.quit().unwrap();
+    ftp.shutdown();
+    flush();
+
+    // ---- HTTP PUT (server writes received bodies to files, like a DAV
+    // PUT of a raw calculation file) ----
+    let put_root = work.join("http-root");
+    std::fs::create_dir_all(&put_root).unwrap();
+    let put_root_srv = put_root.clone();
+    let counter: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let counter_srv = Arc::clone(&counter);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            limits: Limits {
+                max_body: 1024 * 1024 * 1024,
+                ..Limits::default()
+            },
+            ..ServerConfig::default()
+        },
+        move |req| {
+            // Same disk discipline as the FTP server: write + sync_data.
+            let name = req.target.path().trim_start_matches('/').to_owned();
+            let mut f = std::fs::File::create(put_root_srv.join(&name)).unwrap();
+            std::io::Write::write_all(&mut f, &req.body).unwrap();
+            f.sync_data().unwrap();
+            counter_srv.lock().insert(name, req.body.len() as u64);
+            Response::created()
+        },
+    )
+    .unwrap();
+    let mut hc = Client::connect(server.local_addr()).unwrap();
+    hc.set_limits(Limits {
+        max_body: 1024 * 1024 * 1024,
+        ..Limits::default()
+    });
+
+    // Like FTP's stor_file, the local file is read inside the
+    // measurement (the paper's "local file to local file").
+    let (_, put_small) = measure(|| {
+        let body = std::fs::read(&src_small).unwrap();
+        hc.put("/put-small.bin", body).unwrap();
+    });
+    let (_, put_large) = measure(|| {
+        let body = std::fs::read(&src_large).unwrap();
+        hc.put("/put-large.bin", body).unwrap();
+    });
+    server.shutdown();
+
+    let mut table = Table::new(
+        "Table 2: binary FTP vs HTTP PUT",
+        &["transfer", "size", "elapsed", "MB/s"],
+    );
+    let mut row = |name: &str, bytes: usize, m: pse_bench::harness::Measurement| {
+        let rate = bytes as f64 / (1024.0 * 1024.0) / m.elapsed_s().max(1e-9);
+        table.row(&[
+            name.to_owned(),
+            mb(bytes as u64),
+            secs(m.elapsed_s()),
+            format!("{rate:.0}"),
+        ]);
+    };
+    row("FTP mem to file", small, ftp_mem_small);
+    row("FTP local file to file", small, ftp_file_small);
+    row("FTP local file to file", large, ftp_file_large);
+    row("PUT local file to file", small, put_small);
+    row("PUT local file to file", large, put_large);
+    table.print();
+
+    let ratio = put_large.elapsed_s() / ftp_file_large.elapsed_s().max(1e-9);
+    println!(
+        "\nPUT/FTP large-transfer ratio: {ratio:.2}x \
+         (paper shape: ~1.0 — the transports are comparable; bandwidth dominates).\n\
+         Residual gap on loopback: FTP streams socket→disk while this PUT \
+         server is store-and-forward; on the paper's 150 Mbit/s network both \
+         are bandwidth-bound and indistinguishable."
+    );
+    let _ = std::fs::remove_dir_all(&work);
+}

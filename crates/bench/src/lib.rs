@@ -1,0 +1,24 @@
+//! # pse-bench — regenerating every table and figure of the paper
+//!
+//! Each `repro_*` binary prints one of the paper's evaluation artifacts
+//! with the same rows the paper reports, measured on this machine:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `repro_table1` | Table 1 — elapsed + CPU time of typical PSE metadata operations |
+//! | `repro_table2` | Table 2 — binary FTP vs HTTP PUT bulk transfer |
+//! | `repro_table3` | Table 3 — Ecce 1.5 (OODB) vs Ecce 2.0 (DAV) per-tool performance |
+//! | `repro_migration` | §3.2.4 — OODB→DAV migration disk usage (SDBM vs GDBM) |
+//! | `repro_limits` | §3.2.1 — large metadata / large document robustness |
+//! | `repro_ablations` | DOM-vs-SAX parsing, persistent-vs-reconnect, SDBM-vs-GDBM |
+//!
+//! Absolute numbers will differ from the paper's 2001 Sun hardware; the
+//! *shapes* are the reproduction targets (see EXPERIMENTS.md). Set
+//! `PSE_SCALE=full` for paper-scale workloads (200 MB transfers, 100 MB
+//! metadata values, 259-calculation migration).
+
+pub mod harness;
+pub mod proxy;
+pub mod workloads;
+
+pub use harness::{cpu_time, measure, Measurement, Table};

@@ -1,0 +1,942 @@
+//! The DAV method dispatcher — the mod_dav equivalent.
+//!
+//! [`DavHandler`] turns HTTP requests into [`Repository`] operations,
+//! enforcing locks and marshalling multistatus bodies. It implements all
+//! of RFC 2518 plus the extension methods the paper lists as "currently
+//! under development" (DASL SEARCH, DeltaV versioning, ordered
+//! collections).
+
+use crate::depth::Depth;
+use crate::error::{DavError, Result};
+use crate::ifheader::IfHeader;
+use crate::lock::{LockManager, LockScope};
+use crate::multistatus::{Multistatus, PropStat};
+use crate::order;
+use crate::property::{Property, PropertyName, PropfindKind, DAV_NS};
+use crate::repo::Repository;
+use crate::search;
+use crate::version::VersionStore;
+use pse_http::{Method, Request, Response, StatusCode};
+use pse_xml::dom::{Document, Element};
+use pse_xml::writer::Writer;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A DAV protocol engine over a repository. Cheap to clone; all state is
+/// shared.
+pub struct DavHandler<R: Repository> {
+    repo: Arc<R>,
+    locks: Arc<LockManager>,
+    versions: Arc<VersionStore>,
+}
+
+impl<R: Repository> Clone for DavHandler<R> {
+    fn clone(&self) -> Self {
+        DavHandler {
+            repo: Arc::clone(&self.repo),
+            locks: Arc::clone(&self.locks),
+            versions: Arc::clone(&self.versions),
+        }
+    }
+}
+
+impl<R: Repository> DavHandler<R> {
+    /// Wrap a repository.
+    pub fn new(repo: R) -> DavHandler<R> {
+        DavHandler {
+            repo: Arc::new(repo),
+            locks: Arc::new(LockManager::new()),
+            versions: Arc::new(VersionStore::new()),
+        }
+    }
+
+    /// Shared access to the repository (used by agents and tests).
+    pub fn repo(&self) -> Arc<R> {
+        Arc::clone(&self.repo)
+    }
+
+    /// Shared access to the lock table.
+    pub fn locks(&self) -> Arc<LockManager> {
+        Arc::clone(&self.locks)
+    }
+
+    /// Dispatch one request. Never panics; protocol errors become status
+    /// codes.
+    pub fn handle(&self, req: Request) -> Response {
+        let result = match req.method {
+            Method::Options => self.options(&req),
+            Method::Get => self.get(&req, false),
+            Method::Head => self.get(&req, true),
+            Method::Put => self.put(&req),
+            Method::Delete => self.delete(&req),
+            Method::MkCol => self.mkcol(&req),
+            Method::Copy => self.copy_move(&req, false),
+            Method::Move => self.copy_move(&req, true),
+            Method::PropFind => self.propfind(&req),
+            Method::PropPatch => self.proppatch(&req),
+            Method::Lock => self.lock(&req),
+            Method::Unlock => self.unlock(&req),
+            Method::Search => search::handle(self.repo.as_ref(), &req),
+            Method::VersionControl => self.versions.version_control(self.repo.as_ref(), &req),
+            Method::Report => self.versions.report(self.repo.as_ref(), &req),
+            Method::Checkout | Method::Checkin => Err(DavError::BadRequest(
+                "explicit checkout is not required; versioned resources auto-version".into(),
+            )),
+            Method::OrderPatch => order::handle(self.repo.as_ref(), &req),
+            Method::Post | Method::Trace | Method::Extension(_) => {
+                return Response::error(StatusCode::NOT_IMPLEMENTED, "method not implemented")
+            }
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(e) => Response::error(e.status(), &e.to_string()),
+        }
+    }
+
+    fn options(&self, _req: &Request) -> Result<Response> {
+        Ok(Response::ok()
+            .with_header("DAV", "1,2,ordered-collections")
+            .with_header("MS-Author-Via", "DAV")
+            .with_header(
+                "Allow",
+                "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, COPY, MOVE, \
+                 PROPFIND, PROPPATCH, LOCK, UNLOCK, SEARCH, VERSION-CONTROL, REPORT, ORDERPATCH",
+            ))
+    }
+
+    fn get(&self, req: &Request, head: bool) -> Result<Response> {
+        let path = req.target.path();
+        let meta = self.repo.meta(path)?;
+        if meta.is_collection {
+            // Browsable index — the paper's "users can run standard Web
+            // browsers to surf the Ecce database".
+            let mut html = String::from("<html><body><h1>Collection ");
+            html.push_str(path);
+            html.push_str("</h1><ul>");
+            for child in self.repo.list(path)? {
+                let href =
+                    pse_http::uri::percent_encode_path(&pse_http::uri::join_path(path, &child));
+                html.push_str(&format!("<li><a href=\"{href}\">{child}</a></li>"));
+            }
+            html.push_str("</ul></body></html>");
+            return Ok(Response::ok()
+                .with_header("Content-Type", "text/html")
+                .with_body(if head { Vec::new() } else { html.into_bytes() }));
+        }
+        let body = self.repo.get(path)?;
+        let mut resp = Response::ok()
+            .with_header(
+                "Content-Type",
+                meta.content_type.as_deref().unwrap_or("application/octet-stream"),
+            )
+            .with_header("ETag", meta.etag())
+            .with_header("Last-Modified", crate::repo::format_http_date(meta.modified));
+        if !head {
+            resp = resp.with_body(body);
+        }
+        Ok(resp)
+    }
+
+    fn check_lock(&self, req: &Request, path: &str) -> Result<()> {
+        let ifh = IfHeader::parse(req.headers.get("If"));
+        self.locks.check_write(path, &ifh.tokens)
+    }
+
+    fn put(&self, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        self.check_lock(req, path)?;
+        let created = self
+            .repo
+            .put(path, &req.body, req.headers.get("Content-Type"))?;
+        // Auto-version: record the new content on versioned resources.
+        self.versions.record_put(path, &req.body);
+        Ok(if created {
+            Response::created()
+        } else {
+            Response::no_content()
+        })
+    }
+
+    fn delete(&self, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        let ifh = IfHeader::parse(req.headers.get("If"));
+        self.locks.check_write_recursive(path, &ifh.tokens)?;
+        self.repo.delete(path)?;
+        self.locks.forget_subtree(path);
+        Ok(Response::no_content())
+    }
+
+    fn mkcol(&self, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        if !req.body.is_empty() {
+            return Ok(Response::error(
+                StatusCode::UNSUPPORTED_MEDIA_TYPE,
+                "MKCOL with a request body is not supported",
+            ));
+        }
+        self.check_lock(req, path)?;
+        if self.repo.exists(path) {
+            return Ok(Response::error(
+                StatusCode::METHOD_NOT_ALLOWED,
+                "resource already exists",
+            ));
+        }
+        self.repo.mkcol(path)?;
+        Ok(Response::created())
+    }
+
+    fn copy_move(&self, req: &Request, is_move: bool) -> Result<Response> {
+        let src = req.target.path().to_owned();
+        let dst_raw = req
+            .headers
+            .get("Destination")
+            .ok_or_else(|| DavError::BadRequest("missing Destination header".into()))?;
+        let dst = pse_http::uri::Target::parse(dst_raw).path().to_owned();
+        if dst == src {
+            return Err(DavError::PreconditionFailed(
+                "source and destination are the same resource".into(),
+            ));
+        }
+        let overwrite = !matches!(req.headers.get("Overwrite").map(str::trim), Some("F"));
+        let ifh = IfHeader::parse(req.headers.get("If"));
+        self.locks.check_write_recursive(&dst, &ifh.tokens)?;
+        if is_move {
+            self.locks.check_write_recursive(&src, &ifh.tokens)?;
+        }
+        let depth = Depth::parse(req.headers.get("Depth"));
+        let created = if !is_move
+            && depth == Depth::Zero
+            && self.repo.meta(&src)?.is_collection
+        {
+            // Shallow collection copy: new empty collection + properties.
+            let existed = self.repo.exists(&dst);
+            if existed && !overwrite {
+                return Err(DavError::PreconditionFailed(format!("{dst} exists")));
+            }
+            if existed {
+                self.repo.delete(&dst)?;
+            }
+            self.repo.mkcol(&dst)?;
+            for name in self.repo.list_props(&src)? {
+                if let Some(p) = self.repo.get_prop(&src, &name)? {
+                    self.repo.set_prop(&dst, &p)?;
+                }
+            }
+            !existed
+        } else if is_move {
+            let created = self.repo.rename(&src, &dst, overwrite)?;
+            self.locks.forget_subtree(&src);
+            created
+        } else {
+            self.repo.copy(&src, &dst, overwrite)?
+        };
+        Ok(if created {
+            Response::created()
+        } else {
+            Response::no_content()
+        })
+    }
+
+    // ---- PROPFIND ----
+
+    fn parse_propfind(body: &[u8]) -> Result<PropfindKind> {
+        if body.is_empty() {
+            return Ok(PropfindKind::AllProp);
+        }
+        let text = std::str::from_utf8(body)
+            .map_err(|_| DavError::BadRequest("body is not UTF-8".into()))?;
+        let doc = Document::parse(text)?;
+        let root = doc.root();
+        if !root.is(Some(DAV_NS), "propfind") {
+            return Err(DavError::BadRequest("expected DAV:propfind".into()));
+        }
+        if root.child(Some(DAV_NS), "allprop").is_some() {
+            return Ok(PropfindKind::AllProp);
+        }
+        if root.child(Some(DAV_NS), "propname").is_some() {
+            return Ok(PropfindKind::PropName);
+        }
+        let prop = root
+            .child(Some(DAV_NS), "prop")
+            .ok_or_else(|| DavError::BadRequest("propfind without prop/allprop/propname".into()))?;
+        Ok(PropfindKind::Named(
+            prop.children_elems()
+                .map(|e| PropertyName::new(e.namespace().unwrap_or(""), &e.name.local))
+                .collect(),
+        ))
+    }
+
+    /// The lockdiscovery live property for `path`.
+    fn lockdiscovery(&self, path: &str) -> Property {
+        let mut ld = Element::new(Some(DAV_NS), "lockdiscovery");
+        for lock in self.locks.locks_on(path) {
+            ld.push_elem(active_lock_element(&lock));
+        }
+        Property::from_element(ld)
+    }
+
+    fn propstats_for(&self, path: &str, kind: &PropfindKind) -> Result<Vec<PropStat>> {
+        match kind {
+            PropfindKind::AllProp => {
+                let mut props = self.repo.all_props(path)?;
+                props.push(self.lockdiscovery(path));
+                props.push(supported_lock_property());
+                Ok(vec![PropStat {
+                    props,
+                    status: StatusCode::OK,
+                }])
+            }
+            PropfindKind::PropName => {
+                let mut props: Vec<Property> = self
+                    .repo
+                    .all_props(path)?
+                    .into_iter()
+                    .map(|p| Property::text(p.name, ""))
+                    .collect();
+                props.push(Property::text(PropertyName::dav("lockdiscovery"), ""));
+                props.push(Property::text(PropertyName::dav("supportedlock"), ""));
+                Ok(vec![PropStat {
+                    props,
+                    status: StatusCode::OK,
+                }])
+            }
+            PropfindKind::Named(names) => {
+                let mut found = Vec::new();
+                let mut missing = Vec::new();
+                let live = self.repo.live_props(path)?;
+                for name in names {
+                    if name == &PropertyName::dav("lockdiscovery") {
+                        found.push(self.lockdiscovery(path));
+                        continue;
+                    }
+                    if name == &PropertyName::dav("supportedlock") {
+                        found.push(supported_lock_property());
+                        continue;
+                    }
+                    if let Some(p) = live.iter().find(|p| &p.name == name) {
+                        found.push(p.clone());
+                        continue;
+                    }
+                    match self.repo.get_prop(path, name)? {
+                        Some(p) => found.push(p),
+                        None => missing.push(Property::text(name.clone(), "")),
+                    }
+                }
+                let mut out = Vec::new();
+                if !found.is_empty() || missing.is_empty() {
+                    out.push(PropStat {
+                        props: found,
+                        status: StatusCode::OK,
+                    });
+                }
+                if !missing.is_empty() {
+                    out.push(PropStat {
+                        props: missing,
+                        status: StatusCode::NOT_FOUND,
+                    });
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn propfind(&self, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        if !self.repo.exists(path) {
+            return Err(DavError::NotFound(path.to_owned()));
+        }
+        let kind = Self::parse_propfind(&req.body)?;
+        let depth = Depth::parse(req.headers.get("Depth"));
+        let mut ms = Multistatus::new();
+        let max_depth = match depth {
+            Depth::Zero => Some(0),
+            Depth::One => Some(1),
+            Depth::Infinity => None,
+        };
+        let mut paths = Vec::new();
+        self.repo
+            .walk(path, max_depth, &mut |p| paths.push(p.to_owned()))?;
+        for p in paths {
+            let propstats = self.propstats_for(&p, &kind)?;
+            ms.push_propstats(&p, propstats);
+        }
+        Ok(Response::new(StatusCode::MULTI_STATUS).with_xml_body(ms.to_xml()))
+    }
+
+    // ---- PROPPATCH ----
+
+    fn proppatch(&self, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        if !self.repo.exists(path) {
+            return Err(DavError::NotFound(path.to_owned()));
+        }
+        self.check_lock(req, path)?;
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| DavError::BadRequest("body is not UTF-8".into()))?;
+        let doc = Document::parse(text)?;
+        let root = doc.root();
+        if !root.is(Some(DAV_NS), "propertyupdate") {
+            return Err(DavError::BadRequest("expected DAV:propertyupdate".into()));
+        }
+
+        // Collect the operations in document order.
+        enum Op {
+            Set(Property),
+            Remove(PropertyName),
+        }
+        let mut ops = Vec::new();
+        for child in root.children_elems() {
+            let is_set = child.is(Some(DAV_NS), "set");
+            let is_remove = child.is(Some(DAV_NS), "remove");
+            if !is_set && !is_remove {
+                continue;
+            }
+            let prop = child
+                .child(Some(DAV_NS), "prop")
+                .ok_or_else(|| DavError::BadRequest("set/remove without prop".into()))?;
+            for value in prop.children_elems() {
+                if is_set {
+                    ops.push(Op::Set(Property::from_element(value.clone())));
+                } else {
+                    ops.push(Op::Remove(PropertyName::new(
+                        value.namespace().unwrap_or(""),
+                        &value.name.local,
+                    )));
+                }
+            }
+        }
+
+        // RFC 2518 §8.2: instructions are applied in order and the whole
+        // request is atomic. Save prior values for rollback.
+        let mut journal: Vec<(PropertyName, Option<Property>)> = Vec::new();
+        let mut failed: Option<(PropertyName, StatusCode)> = None;
+        let mut applied_names: Vec<PropertyName> = Vec::new();
+        for op in &ops {
+            let (name, result): (PropertyName, Result<()>) = match op {
+                Op::Set(p) => {
+                    if p.name.is_live() {
+                        (
+                            p.name.clone(),
+                            Err(DavError::BadRequest("cannot set a live property".into())),
+                        )
+                    } else {
+                        let prior = self.repo.get_prop(path, &p.name)?;
+                        let r = self.repo.set_prop(path, p);
+                        if r.is_ok() {
+                            journal.push((p.name.clone(), prior));
+                        }
+                        (p.name.clone(), r)
+                    }
+                }
+                Op::Remove(name) => {
+                    let prior = self.repo.get_prop(path, name)?;
+                    let r = self.repo.remove_prop(path, name).map(|_| ());
+                    if r.is_ok() {
+                        journal.push((name.clone(), prior));
+                    }
+                    (name.clone(), r)
+                }
+            };
+            match result {
+                Ok(()) => applied_names.push(name),
+                Err(e) => {
+                    failed = Some((name, e.status()));
+                    break;
+                }
+            }
+        }
+
+        let mut ms = Multistatus::new();
+        if let Some((failed_name, failed_status)) = failed {
+            // Roll back everything applied so far.
+            for (name, prior) in journal.into_iter().rev() {
+                match prior {
+                    Some(p) => {
+                        let _ = self.repo.set_prop(path, &p);
+                    }
+                    None => {
+                        let _ = self.repo.remove_prop(path, &name);
+                    }
+                }
+            }
+            let mut propstats = vec![PropStat {
+                props: vec![Property::text(failed_name, "")],
+                status: failed_status,
+            }];
+            if !applied_names.is_empty() {
+                propstats.push(PropStat {
+                    props: applied_names
+                        .into_iter()
+                        .map(|n| Property::text(n, ""))
+                        .collect(),
+                    status: StatusCode::FAILED_DEPENDENCY,
+                });
+            }
+            ms.push_propstats(path, propstats);
+        } else {
+            ms.push_propstats(
+                path,
+                vec![PropStat {
+                    props: applied_names
+                        .into_iter()
+                        .map(|n| Property::text(n, ""))
+                        .collect(),
+                    status: StatusCode::OK,
+                }],
+            );
+        }
+        Ok(Response::new(StatusCode::MULTI_STATUS).with_xml_body(ms.to_xml()))
+    }
+
+    // ---- LOCK / UNLOCK ----
+
+    fn parse_timeout(header: Option<&str>) -> Option<Duration> {
+        // `Timeout: Second-3600` or `Infinite, Second-...`.
+        header?
+            .split(',')
+            .filter_map(|part| part.trim().strip_prefix("Second-"))
+            .filter_map(|s| s.parse::<u64>().ok())
+            .map(Duration::from_secs)
+            .next()
+    }
+
+    fn lock(&self, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        let timeout = Self::parse_timeout(req.headers.get("Timeout"));
+        let depth = Depth::parse(req.headers.get("Depth"));
+
+        if req.body.is_empty() {
+            // Refresh via the If header.
+            let ifh = IfHeader::parse(req.headers.get("If"));
+            let token = ifh.tokens.first().ok_or_else(|| {
+                DavError::BadRequest("LOCK refresh requires an If header with a token".into())
+            })?;
+            let lock = self.locks.refresh(path, token, timeout)?;
+            return Ok(lock_response(&lock, false));
+        }
+
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| DavError::BadRequest("body is not UTF-8".into()))?;
+        let doc = Document::parse(text)?;
+        let root = doc.root();
+        if !root.is(Some(DAV_NS), "lockinfo") {
+            return Err(DavError::BadRequest("expected DAV:lockinfo".into()));
+        }
+        let scope = match root.child(Some(DAV_NS), "lockscope") {
+            Some(s) if s.child(Some(DAV_NS), "shared").is_some() => LockScope::Shared,
+            _ => LockScope::Exclusive,
+        };
+        let owner = root
+            .child(Some(DAV_NS), "owner")
+            .map(|o| o.deep_text().trim().to_owned())
+            .unwrap_or_default();
+
+        // Locking an unmapped URL creates an empty (lock-null-ish)
+        // resource, per RFC 2518 §7.4.
+        let created = if !self.repo.exists(path) {
+            crate::repo::require_parent(self.repo.as_ref(), path)?;
+            self.repo.put(path, b"", None)?;
+            true
+        } else {
+            false
+        };
+        let lock = self.locks.lock(path, scope, depth, &owner, timeout)?;
+        Ok(lock_response(&lock, created))
+    }
+
+    fn unlock(&self, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        let token = IfHeader::parse_lock_token(req.headers.get("Lock-Token"))
+            .ok_or_else(|| DavError::BadRequest("missing Lock-Token header".into()))?;
+        self.locks.unlock(path, &token)?;
+        Ok(Response::no_content())
+    }
+}
+
+/// Build the `DAV:activelock` element for a lock.
+fn active_lock_element(lock: &crate::lock::Lock) -> Element {
+    let mut al = Element::new(Some(DAV_NS), "activelock");
+    let mut lt = Element::new(Some(DAV_NS), "locktype");
+    lt.push_elem(Element::new(Some(DAV_NS), "write"));
+    al.push_elem(lt);
+    let mut ls = Element::new(Some(DAV_NS), "lockscope");
+    ls.push_elem(Element::new(Some(DAV_NS), lock.scope.as_str()));
+    al.push_elem(ls);
+    let mut d = Element::new(Some(DAV_NS), "depth");
+    d.push_text(lock.depth.as_str());
+    al.push_elem(d);
+    if !lock.owner.is_empty() {
+        let mut o = Element::new(Some(DAV_NS), "owner");
+        o.push_text(&lock.owner);
+        al.push_elem(o);
+    }
+    let mut t = Element::new(Some(DAV_NS), "timeout");
+    t.push_text(format!("Second-{}", lock.timeout.as_secs()));
+    al.push_elem(t);
+    let mut lt = Element::new(Some(DAV_NS), "locktoken");
+    let mut href = Element::new(Some(DAV_NS), "href");
+    href.push_text(&lock.token);
+    lt.push_elem(href);
+    al.push_elem(lt);
+    al
+}
+
+/// The static `DAV:supportedlock` property.
+fn supported_lock_property() -> Property {
+    let mut sl = Element::new(Some(DAV_NS), "supportedlock");
+    for scope in ["exclusive", "shared"] {
+        let mut entry = Element::new(Some(DAV_NS), "lockentry");
+        let mut ls = Element::new(Some(DAV_NS), "lockscope");
+        ls.push_elem(Element::new(Some(DAV_NS), scope));
+        entry.push_elem(ls);
+        let mut lt = Element::new(Some(DAV_NS), "locktype");
+        lt.push_elem(Element::new(Some(DAV_NS), "write"));
+        entry.push_elem(lt);
+        sl.push_elem(entry);
+    }
+    Property::from_element(sl)
+}
+
+/// Build the LOCK success response (prop/lockdiscovery body + headers).
+fn lock_response(lock: &crate::lock::Lock, created: bool) -> Response {
+    let mut prop = Element::new(Some(DAV_NS), "prop");
+    let mut ld = Element::new(Some(DAV_NS), "lockdiscovery");
+    ld.push_elem(active_lock_element(lock));
+    prop.push_elem(ld);
+    let xml = Writer::new().write_document(&Document::with_root(prop));
+    Response::new(if created {
+        StatusCode::CREATED
+    } else {
+        StatusCode::OK
+    })
+    .with_header("Lock-Token", format!("<{}>", lock.token))
+    .with_xml_body(xml)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memrepo::MemRepository;
+
+    fn handler() -> DavHandler<MemRepository> {
+        DavHandler::new(MemRepository::new())
+    }
+
+    fn req(method: Method, path: &str) -> Request {
+        Request::new(method, path)
+    }
+
+    #[test]
+    fn options_advertises_dav_class_2() {
+        let h = handler();
+        let resp = h.handle(req(Method::Options, "/"));
+        assert_eq!(resp.status.code(), 200);
+        assert!(resp.headers.get("DAV").unwrap().starts_with("1,2"));
+        assert!(resp.headers.get("Allow").unwrap().contains("PROPFIND"));
+    }
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let h = handler();
+        let resp = h.handle(
+            req(Method::Put, "/doc.xyz").with_header("Content-Type", "chemical/x-xyz").with_body("3\natoms"),
+        );
+        assert_eq!(resp.status.code(), 201);
+        let resp = h.handle(req(Method::Put, "/doc.xyz").with_body("new"));
+        assert_eq!(resp.status.code(), 204);
+        let resp = h.handle(req(Method::Get, "/doc.xyz"));
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(resp.body_text(), "new");
+        assert_eq!(resp.headers.get("content-type"), Some("chemical/x-xyz"));
+        assert!(resp.headers.get("etag").is_some());
+        let resp = h.handle(req(Method::Delete, "/doc.xyz"));
+        assert_eq!(resp.status.code(), 204);
+        assert_eq!(h.handle(req(Method::Get, "/doc.xyz")).status.code(), 404);
+    }
+
+    #[test]
+    fn mkcol_and_collection_get() {
+        let h = handler();
+        assert_eq!(h.handle(req(Method::MkCol, "/proj")).status.code(), 201);
+        assert_eq!(h.handle(req(Method::MkCol, "/proj")).status.code(), 405);
+        assert_eq!(h.handle(req(Method::MkCol, "/a/b")).status.code(), 409);
+        assert_eq!(
+            h.handle(req(Method::MkCol, "/x").with_body("<x/>")).status.code(),
+            415
+        );
+        h.handle(req(Method::Put, "/proj/data").with_body("d"));
+        let resp = h.handle(req(Method::Get, "/proj"));
+        assert_eq!(resp.status.code(), 200);
+        assert!(resp.body_text().contains("data"));
+    }
+
+    #[test]
+    fn propfind_depth_one_lists_children() {
+        let h = handler();
+        h.handle(req(Method::MkCol, "/c"));
+        h.handle(req(Method::Put, "/c/a").with_body("1"));
+        h.handle(req(Method::Put, "/c/b").with_body("22"));
+        let resp = h.handle(req(Method::PropFind, "/c").with_header("Depth", "1"));
+        assert_eq!(resp.status.code(), 207);
+        let ms = Multistatus::parse_dom(&resp.body_text()).unwrap();
+        assert_eq!(ms.responses.len(), 3);
+        let b = ms.response_for("/c/b").unwrap();
+        assert_eq!(
+            b.prop(&PropertyName::dav("getcontentlength")).unwrap().text_value(),
+            "2"
+        );
+    }
+
+    #[test]
+    fn propfind_named_reports_404_for_missing() {
+        let h = handler();
+        h.handle(req(Method::Put, "/d").with_body(""));
+        let body = r#"<D:propfind xmlns:D="DAV:"><D:prop>
+            <D:getcontentlength/>
+            <x:nope xmlns:x="urn:x"/>
+        </D:prop></D:propfind>"#;
+        let resp = h.handle(
+            req(Method::PropFind, "/d")
+                .with_header("Depth", "0")
+                .with_xml_body(body),
+        );
+        let ms = Multistatus::parse_sax(&resp.body_text()).unwrap();
+        let entry = &ms.responses[0];
+        assert_eq!(entry.propstats.len(), 2);
+        assert!(entry.prop(&PropertyName::dav("getcontentlength")).is_some());
+        let nf = entry
+            .propstats
+            .iter()
+            .find(|ps| ps.status.code() == 404)
+            .unwrap();
+        assert_eq!(nf.props[0].name, PropertyName::new("urn:x", "nope"));
+    }
+
+    #[test]
+    fn propfind_missing_resource_404() {
+        let h = handler();
+        assert_eq!(h.handle(req(Method::PropFind, "/gone")).status.code(), 404);
+    }
+
+    #[test]
+    fn proppatch_set_and_remove() {
+        let h = handler();
+        h.handle(req(Method::Put, "/m").with_body(""));
+        let body = r#"<D:propertyupdate xmlns:D="DAV:" xmlns:e="urn:ecce">
+          <D:set><D:prop><e:formula>H2O</e:formula><e:charge>0</e:charge></D:prop></D:set>
+          <D:remove><D:prop><e:charge/></D:prop></D:remove>
+        </D:propertyupdate>"#;
+        let resp = h.handle(req(Method::PropPatch, "/m").with_xml_body(body));
+        assert_eq!(resp.status.code(), 207);
+        let repo = h.repo();
+        assert_eq!(
+            repo.get_prop("/m", &PropertyName::new("urn:ecce", "formula"))
+                .unwrap()
+                .unwrap()
+                .text_value(),
+            "H2O"
+        );
+        assert!(repo
+            .get_prop("/m", &PropertyName::new("urn:ecce", "charge"))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn proppatch_is_atomic_on_failure() {
+        let h = handler();
+        h.handle(req(Method::Put, "/m").with_body(""));
+        // Second set targets a live property → fails → first must roll back.
+        let body = r#"<D:propertyupdate xmlns:D="DAV:" xmlns:e="urn:e">
+          <D:set><D:prop><e:ok>1</e:ok></D:prop></D:set>
+          <D:set><D:prop><D:getcontentlength>99</D:getcontentlength></D:prop></D:set>
+        </D:propertyupdate>"#;
+        let resp = h.handle(req(Method::PropPatch, "/m").with_xml_body(body));
+        assert_eq!(resp.status.code(), 207);
+        let ms = Multistatus::parse_dom(&resp.body_text()).unwrap();
+        let statuses: Vec<u16> = ms.responses[0]
+            .propstats
+            .iter()
+            .map(|ps| ps.status.code())
+            .collect();
+        assert!(statuses.contains(&400));
+        assert!(statuses.contains(&424));
+        // Rolled back.
+        assert!(h
+            .repo()
+            .get_prop("/m", &PropertyName::new("urn:e", "ok"))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn copy_and_move_with_destination() {
+        let h = handler();
+        h.handle(req(Method::MkCol, "/a"));
+        h.handle(req(Method::Put, "/a/f").with_body("x"));
+        let resp = h.handle(
+            req(Method::Copy, "/a").with_header("Destination", "http://host/b"),
+        );
+        assert_eq!(resp.status.code(), 201);
+        assert_eq!(h.handle(req(Method::Get, "/b/f")).body_text(), "x");
+        // Overwrite: F on existing target → 412.
+        let resp = h.handle(
+            req(Method::Copy, "/a")
+                .with_header("Destination", "/b")
+                .with_header("Overwrite", "F"),
+        );
+        assert_eq!(resp.status.code(), 412);
+        // MOVE.
+        let resp = h.handle(req(Method::Move, "/a").with_header("Destination", "/c"));
+        assert_eq!(resp.status.code(), 201);
+        assert_eq!(h.handle(req(Method::Get, "/a/f")).status.code(), 404);
+        assert_eq!(h.handle(req(Method::Get, "/c/f")).body_text(), "x");
+        // Missing Destination → 400.
+        assert_eq!(h.handle(req(Method::Move, "/c")).status.code(), 400);
+    }
+
+    #[test]
+    fn shallow_collection_copy() {
+        let h = handler();
+        h.handle(req(Method::MkCol, "/a"));
+        h.handle(req(Method::Put, "/a/f").with_body("x"));
+        let body = r#"<D:propertyupdate xmlns:D="DAV:" xmlns:e="urn:e">
+          <D:set><D:prop><e:title>T</e:title></D:prop></D:set></D:propertyupdate>"#;
+        h.handle(req(Method::PropPatch, "/a").with_xml_body(body));
+        let resp = h.handle(
+            req(Method::Copy, "/a")
+                .with_header("Destination", "/shallow")
+                .with_header("Depth", "0"),
+        );
+        assert_eq!(resp.status.code(), 201);
+        // Children were not copied; properties were.
+        assert_eq!(h.handle(req(Method::Get, "/shallow/f")).status.code(), 404);
+        assert_eq!(
+            h.repo()
+                .get_prop("/shallow", &PropertyName::new("urn:e", "title"))
+                .unwrap()
+                .unwrap()
+                .text_value(),
+            "T"
+        );
+    }
+
+    #[test]
+    fn lock_blocks_writes_without_token() {
+        let h = handler();
+        h.handle(req(Method::Put, "/doc").with_body("v1"));
+        let lock_body = r#"<D:lockinfo xmlns:D="DAV:">
+            <D:lockscope><D:exclusive/></D:lockscope>
+            <D:locktype><D:write/></D:locktype>
+            <D:owner>karen</D:owner></D:lockinfo>"#;
+        let resp = h.handle(
+            req(Method::Lock, "/doc")
+                .with_header("Timeout", "Second-60")
+                .with_xml_body(lock_body),
+        );
+        assert_eq!(resp.status.code(), 200);
+        let token = resp
+            .headers
+            .get("lock-token")
+            .unwrap()
+            .trim_matches(['<', '>'])
+            .to_owned();
+        // Write without token → 423.
+        assert_eq!(h.handle(req(Method::Put, "/doc").with_body("v2")).status.code(), 423);
+        // Write with token → OK.
+        let resp = h.handle(
+            req(Method::Put, "/doc")
+                .with_header("If", format!("(<{token}>)"))
+                .with_body("v2"),
+        );
+        assert_eq!(resp.status.code(), 204);
+        // UNLOCK then write freely.
+        let resp = h.handle(
+            req(Method::Unlock, "/doc").with_header("Lock-Token", format!("<{token}>")),
+        );
+        assert_eq!(resp.status.code(), 204);
+        assert_eq!(h.handle(req(Method::Put, "/doc").with_body("v3")).status.code(), 204);
+    }
+
+    #[test]
+    fn lock_unmapped_url_creates_resource() {
+        let h = handler();
+        let lock_body = r#"<D:lockinfo xmlns:D="DAV:">
+            <D:lockscope><D:exclusive/></D:lockscope>
+            <D:locktype><D:write/></D:locktype></D:lockinfo>"#;
+        let resp = h.handle(req(Method::Lock, "/fresh").with_xml_body(lock_body));
+        assert_eq!(resp.status.code(), 201);
+        assert!(h.repo().exists("/fresh"));
+    }
+
+    #[test]
+    fn lock_refresh_via_if_header() {
+        let h = handler();
+        h.handle(req(Method::Put, "/doc").with_body(""));
+        let lock_body = r#"<D:lockinfo xmlns:D="DAV:">
+            <D:lockscope><D:exclusive/></D:lockscope>
+            <D:locktype><D:write/></D:locktype></D:lockinfo>"#;
+        let resp = h.handle(req(Method::Lock, "/doc").with_xml_body(lock_body));
+        let token = resp.headers.get("lock-token").unwrap().to_owned();
+        let resp = h.handle(
+            req(Method::Lock, "/doc")
+                .with_header("If", format!("({token})"))
+                .with_header("Timeout", "Second-120"),
+        );
+        assert_eq!(resp.status.code(), 200);
+        assert!(resp.body_text().contains("Second-120"));
+    }
+
+    #[test]
+    fn propfind_reports_lockdiscovery() {
+        let h = handler();
+        h.handle(req(Method::Put, "/doc").with_body(""));
+        let lock_body = r#"<D:lockinfo xmlns:D="DAV:">
+            <D:lockscope><D:shared/></D:lockscope>
+            <D:locktype><D:write/></D:locktype><D:owner>eric</D:owner></D:lockinfo>"#;
+        h.handle(req(Method::Lock, "/doc").with_xml_body(lock_body));
+        let body = r#"<D:propfind xmlns:D="DAV:"><D:prop><D:lockdiscovery/></D:prop></D:propfind>"#;
+        let resp = h.handle(req(Method::PropFind, "/doc").with_xml_body(body));
+        let text = resp.body_text();
+        assert!(text.contains("activelock"), "{text}");
+        assert!(text.contains("shared"), "{text}");
+        assert!(text.contains("eric"), "{text}");
+    }
+
+    #[test]
+    fn unknown_method_501() {
+        let h = handler();
+        let resp = h.handle(req(Method::Extension("BREW".into()), "/"));
+        assert_eq!(resp.status.code(), 501);
+    }
+
+    #[test]
+    fn malformed_xml_body_400() {
+        let h = handler();
+        h.handle(req(Method::Put, "/d").with_body(""));
+        let resp = h.handle(req(Method::PropPatch, "/d").with_xml_body("<not-closed"));
+        assert_eq!(resp.status.code(), 400);
+        let resp = h.handle(req(Method::PropFind, "/d").with_xml_body("<wrong-root/>"));
+        assert_eq!(resp.status.code(), 400);
+    }
+
+    #[test]
+    fn delete_clears_subtree_locks() {
+        let h = handler();
+        h.handle(req(Method::MkCol, "/c"));
+        h.handle(req(Method::Put, "/c/doc").with_body(""));
+        let lock_body = r#"<D:lockinfo xmlns:D="DAV:">
+            <D:lockscope><D:exclusive/></D:lockscope>
+            <D:locktype><D:write/></D:locktype></D:lockinfo>"#;
+        let resp = h.handle(req(Method::Lock, "/c/doc").with_xml_body(lock_body));
+        let token = resp.headers.get("lock-token").unwrap().to_owned();
+        // Delete the parent with the lock token supplied.
+        let resp = h.handle(
+            req(Method::Delete, "/c").with_header("If", format!("({token})")),
+        );
+        assert_eq!(resp.status.code(), 204);
+        // Re-create; no stale lock applies.
+        h.handle(req(Method::MkCol, "/c"));
+        assert_eq!(h.handle(req(Method::Put, "/c/doc").with_body("")).status.code(), 201);
+    }
+}

@@ -1,0 +1,393 @@
+//! An in-memory repository — the reference implementation of
+//! [`Repository`] used by unit tests and as the semantic model the
+//! filesystem repository is checked against.
+
+use crate::error::{DavError, Result};
+use crate::property::{Property, PropertyName};
+use crate::repo::{require_parent, Repository, ResourceMeta};
+use parking_lot::Mutex;
+use pse_http::uri::{normalize_path, parent_path};
+use std::collections::{BTreeMap, HashMap};
+use std::time::SystemTime;
+
+#[derive(Debug, Clone)]
+struct MemNode {
+    is_collection: bool,
+    data: Vec<u8>,
+    content_type: Option<String>,
+    created: SystemTime,
+    modified: SystemTime,
+    props: BTreeMap<PropertyName, Property>,
+}
+
+impl MemNode {
+    fn collection() -> MemNode {
+        let now = SystemTime::now();
+        MemNode {
+            is_collection: true,
+            data: Vec::new(),
+            content_type: None,
+            created: now,
+            modified: now,
+            props: BTreeMap::new(),
+        }
+    }
+}
+
+/// A heap-backed DAV repository.
+#[derive(Debug, Default)]
+pub struct MemRepository {
+    nodes: Mutex<HashMap<String, MemNode>>,
+}
+
+impl MemRepository {
+    /// A repository containing only the root collection.
+    pub fn new() -> MemRepository {
+        let repo = MemRepository {
+            nodes: Mutex::new(HashMap::new()),
+        };
+        repo.nodes
+            .lock()
+            .insert("/".to_owned(), MemNode::collection());
+        repo
+    }
+
+    fn descendants(nodes: &HashMap<String, MemNode>, path: &str) -> Vec<String> {
+        nodes
+            .keys()
+            .filter(|p|
+
+                p.as_str() != path
+                    && p.starts_with(path)
+                    && (path == "/" || p.as_bytes().get(path.len()) == Some(&b'/')))
+            .cloned()
+            .collect()
+    }
+}
+
+impl Repository for MemRepository {
+    fn exists(&self, path: &str) -> bool {
+        self.nodes.lock().contains_key(&normalize_path(path))
+    }
+
+    fn meta(&self, path: &str) -> Result<ResourceMeta> {
+        let path = normalize_path(path);
+        let nodes = self.nodes.lock();
+        let n = nodes
+            .get(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        Ok(ResourceMeta {
+            is_collection: n.is_collection,
+            content_length: n.data.len() as u64,
+            modified: n.modified,
+            created: n.created,
+            content_type: n.content_type.clone(),
+        })
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        let path = normalize_path(path);
+        let nodes = self.nodes.lock();
+        let n = nodes
+            .get(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        if n.is_collection {
+            return Err(DavError::Conflict(format!("{path} is a collection")));
+        }
+        Ok(n.data.clone())
+    }
+
+    fn put(&self, path: &str, data: &[u8], content_type: Option<&str>) -> Result<bool> {
+        let path = normalize_path(path);
+        require_parent(self, &path)?;
+        let mut nodes = self.nodes.lock();
+        let now = SystemTime::now();
+        match nodes.get_mut(&path) {
+            Some(n) if n.is_collection => {
+                Err(DavError::Conflict(format!("{path} is a collection")))
+            }
+            Some(n) => {
+                n.data = data.to_vec();
+                n.modified = now;
+                if content_type.is_some() {
+                    n.content_type = content_type.map(str::to_owned);
+                }
+                Ok(false)
+            }
+            None => {
+                nodes.insert(
+                    path,
+                    MemNode {
+                        is_collection: false,
+                        data: data.to_vec(),
+                        content_type: content_type.map(str::to_owned),
+                        created: now,
+                        modified: now,
+                        props: BTreeMap::new(),
+                    },
+                );
+                Ok(true)
+            }
+        }
+    }
+
+    fn mkcol(&self, path: &str) -> Result<()> {
+        let path = normalize_path(path);
+        require_parent(self, &path)?;
+        let mut nodes = self.nodes.lock();
+        if nodes.contains_key(&path) {
+            return Err(DavError::PreconditionFailed(format!("{path} exists")));
+        }
+        nodes.insert(path, MemNode::collection());
+        Ok(())
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let path = normalize_path(path);
+        let mut nodes = self.nodes.lock();
+        if nodes.remove(&path).is_none() {
+            return Err(DavError::NotFound(path));
+        }
+        for p in Self::descendants(&nodes, &path) {
+            nodes.remove(&p);
+        }
+        Ok(())
+    }
+
+    fn copy(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
+        let (src, dst) = (normalize_path(src), normalize_path(dst));
+        if !self.exists(&src) {
+            return Err(DavError::NotFound(src));
+        }
+        require_parent(self, &dst)?;
+        let existed = self.exists(&dst);
+        if existed && !overwrite {
+            return Err(DavError::PreconditionFailed(format!("{dst} exists")));
+        }
+        if existed {
+            self.delete(&dst)?;
+        }
+        let mut nodes = self.nodes.lock();
+        let mut to_copy = vec![src.clone()];
+        to_copy.extend(Self::descendants(&nodes, &src));
+        for p in to_copy {
+            let node = nodes.get(&p).expect("listed above").clone();
+            let suffix = &p[src.len()..];
+            nodes.insert(format!("{dst}{suffix}"), node);
+        }
+        Ok(!existed)
+    }
+
+    fn rename(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
+        let created = self.copy(src, dst, overwrite)?;
+        self.delete(&normalize_path(src))?;
+        Ok(created)
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<String>> {
+        let path = normalize_path(path);
+        let nodes = self.nodes.lock();
+        let node = nodes
+            .get(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        if !node.is_collection {
+            return Err(DavError::Conflict(format!("{path} is not a collection")));
+        }
+        let mut out: Vec<String> = nodes
+            .keys()
+            .filter(|p| p.as_str() != path && parent_path(p) == path)
+            .map(|p| pse_http::uri::basename(p).to_owned())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    fn get_prop(&self, path: &str, name: &PropertyName) -> Result<Option<Property>> {
+        let path = normalize_path(path);
+        let nodes = self.nodes.lock();
+        let n = nodes
+            .get(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        Ok(n.props.get(name).cloned())
+    }
+
+    fn list_props(&self, path: &str) -> Result<Vec<PropertyName>> {
+        let path = normalize_path(path);
+        let nodes = self.nodes.lock();
+        let n = nodes
+            .get(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        Ok(n.props.keys().cloned().collect())
+    }
+
+    fn set_prop(&self, path: &str, prop: &Property) -> Result<()> {
+        let path = normalize_path(path);
+        let mut nodes = self.nodes.lock();
+        let n = nodes
+            .get_mut(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        n.props.insert(prop.name.clone(), prop.clone());
+        Ok(())
+    }
+
+    fn remove_prop(&self, path: &str, name: &PropertyName) -> Result<bool> {
+        let path = normalize_path(path);
+        let mut nodes = self.nodes.lock();
+        let n = nodes
+            .get_mut(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        Ok(n.props.remove(name).is_some())
+    }
+
+    fn disk_usage(&self) -> Result<u64> {
+        let nodes = self.nodes.lock();
+        Ok(nodes
+            .values()
+            .map(|n| {
+                n.data.len() as u64
+                    + n.props
+                        .values()
+                        .map(|p| p.to_storage().len() as u64)
+                        .sum::<u64>()
+            })
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crud_cycle() {
+        let r = MemRepository::new();
+        assert!(r.exists("/"));
+        r.mkcol("/proj").unwrap();
+        assert!(r.put("/proj/doc", b"data", Some("text/plain")).unwrap());
+        assert!(!r.put("/proj/doc", b"data2", None).unwrap());
+        assert_eq!(r.get("/proj/doc").unwrap(), b"data2");
+        let meta = r.meta("/proj/doc").unwrap();
+        assert!(!meta.is_collection);
+        assert_eq!(meta.content_length, 5);
+        assert_eq!(meta.content_type.as_deref(), Some("text/plain"));
+        r.delete("/proj").unwrap();
+        assert!(!r.exists("/proj/doc"));
+    }
+
+    #[test]
+    fn put_requires_parent() {
+        let r = MemRepository::new();
+        assert!(matches!(
+            r.put("/missing/doc", b"x", None),
+            Err(DavError::Conflict(_))
+        ));
+        assert!(matches!(
+            r.mkcol("/a/b"),
+            Err(DavError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn mkcol_on_existing_fails() {
+        let r = MemRepository::new();
+        r.mkcol("/a").unwrap();
+        assert!(r.mkcol("/a").is_err());
+    }
+
+    #[test]
+    fn copy_subtree_with_props() {
+        let r = MemRepository::new();
+        r.mkcol("/src").unwrap();
+        r.put("/src/d", b"x", None).unwrap();
+        r.set_prop("/src/d", &Property::text(PropertyName::new("u:n", "k"), "v"))
+            .unwrap();
+        assert!(r.copy("/src", "/dst", false).unwrap());
+        assert_eq!(r.get("/dst/d").unwrap(), b"x");
+        assert_eq!(
+            r.get_prop("/dst/d", &PropertyName::new("u:n", "k"))
+                .unwrap()
+                .unwrap()
+                .text_value(),
+            "v"
+        );
+        // Source untouched.
+        assert!(r.exists("/src/d"));
+        // No-overwrite refuses.
+        assert!(r.copy("/src", "/dst", false).is_err());
+        // Overwrite replaces (and returns created=false).
+        assert!(!r.copy("/src", "/dst", true).unwrap());
+    }
+
+    #[test]
+    fn rename_moves() {
+        let r = MemRepository::new();
+        r.mkcol("/a").unwrap();
+        r.put("/a/f", b"1", None).unwrap();
+        r.rename("/a", "/b", false).unwrap();
+        assert!(!r.exists("/a"));
+        assert_eq!(r.get("/b/f").unwrap(), b"1");
+    }
+
+    #[test]
+    fn list_children_sorted() {
+        let r = MemRepository::new();
+        r.mkcol("/c").unwrap();
+        r.put("/c/z", b"", None).unwrap();
+        r.put("/c/a", b"", None).unwrap();
+        r.mkcol("/c/m").unwrap();
+        r.put("/c/m/inner", b"", None).unwrap();
+        assert_eq!(r.list("/c").unwrap(), vec!["a", "m", "z"]);
+        assert!(r.list("/c/a").is_err());
+    }
+
+    #[test]
+    fn props_crud() {
+        let r = MemRepository::new();
+        r.put("/d", b"", None).unwrap();
+        let name = PropertyName::new("urn:ecce", "formula");
+        assert!(r.get_prop("/d", &name).unwrap().is_none());
+        r.set_prop("/d", &Property::text(name.clone(), "H2O")).unwrap();
+        assert_eq!(r.get_prop("/d", &name).unwrap().unwrap().text_value(), "H2O");
+        assert_eq!(r.list_props("/d").unwrap(), vec![name.clone()]);
+        assert!(r.remove_prop("/d", &name).unwrap());
+        assert!(!r.remove_prop("/d", &name).unwrap());
+    }
+
+    #[test]
+    fn all_props_mixes_live_and_dead() {
+        let r = MemRepository::new();
+        r.put("/d", b"body", Some("text/plain")).unwrap();
+        r.set_prop("/d", &Property::text(PropertyName::new("u", "x"), "1"))
+            .unwrap();
+        let all = r.all_props("/d").unwrap();
+        let names: Vec<String> = all.iter().map(|p| p.name.local.clone()).collect();
+        assert!(names.contains(&"getcontentlength".to_owned()));
+        assert!(names.contains(&"resourcetype".to_owned()));
+        assert!(names.contains(&"x".to_owned()));
+    }
+
+    #[test]
+    fn walk_depth_limits() {
+        let r = MemRepository::new();
+        r.mkcol("/a").unwrap();
+        r.mkcol("/a/b").unwrap();
+        r.put("/a/b/c", b"", None).unwrap();
+        let collect = |d: Option<u32>| {
+            let mut v = Vec::new();
+            r.walk("/", d, &mut |p| v.push(p.to_owned())).unwrap();
+            v
+        };
+        assert_eq!(collect(Some(0)), vec!["/"]);
+        assert_eq!(collect(Some(1)), vec!["/", "/a"]);
+        assert_eq!(collect(None), vec!["/", "/a", "/a/b", "/a/b/c"]);
+    }
+
+    #[test]
+    fn similar_prefix_not_descendant() {
+        let r = MemRepository::new();
+        r.mkcol("/ab").unwrap();
+        r.mkcol("/abc").unwrap();
+        r.delete("/ab").unwrap();
+        assert!(r.exists("/abc"));
+    }
+}

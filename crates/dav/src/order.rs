@@ -1,0 +1,252 @@
+//! Ordered collections (draft-ietf-webdav-ordering, simplified).
+//!
+//! DAV's native containment is unordered — the paper notes that "DAV
+//! currently supports only a simple, unordered container/contains
+//! relationship" and lists Advanced/Ordered Collections among the
+//! extensions under development. A PSE wants order: the tasks of a
+//! calculation run in sequence. `ORDERPATCH` maintains an explicit child
+//! ordering stored as an internal property on the collection, and
+//! [`ordered_children`] returns children in that order.
+
+use crate::error::{DavError, Result};
+use crate::property::{Property, PropertyName, DAV_NS};
+use crate::repo::Repository;
+use pse_http::{Request, Response, StatusCode};
+use pse_xml::dom::Document;
+
+/// Namespace for server-internal bookkeeping properties.
+pub const INTERNAL_NS: &str = "urn:pse-dav-internal";
+
+/// The collection property holding the child order (newline-separated).
+pub fn order_prop_name() -> PropertyName {
+    PropertyName::new(INTERNAL_NS, "child-order")
+}
+
+/// A single ordering instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Position {
+    /// Move to the front.
+    First,
+    /// Move to the back.
+    Last,
+    /// Place immediately before the named sibling.
+    Before(String),
+    /// Place immediately after the named sibling.
+    After(String),
+}
+
+/// Children of `path` in collection order: explicitly ordered members
+/// first (in stored order), then any unlisted members sorted by name.
+pub fn ordered_children(repo: &dyn Repository, path: &str) -> Result<Vec<String>> {
+    let actual = repo.list(path)?;
+    let Some(order_prop) = repo.get_prop(path, &order_prop_name())? else {
+        return Ok(actual);
+    };
+    let stored: Vec<String> = order_prop
+        .text_value()
+        .lines()
+        .map(str::to_owned)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let mut out: Vec<String> = stored
+        .iter()
+        .filter(|name| actual.contains(name))
+        .cloned()
+        .collect();
+    for name in actual {
+        if !out.contains(&name) {
+            out.push(name);
+        }
+    }
+    Ok(out)
+}
+
+fn apply(order: &mut Vec<String>, member: &str, position: &Position) -> Result<()> {
+    order.retain(|n| n != member);
+    match position {
+        Position::First => order.insert(0, member.to_owned()),
+        Position::Last => order.push(member.to_owned()),
+        Position::Before(anchor) => {
+            let i = order
+                .iter()
+                .position(|n| n == anchor)
+                .ok_or_else(|| DavError::Conflict(format!("no sibling named {anchor}")))?;
+            order.insert(i, member.to_owned());
+        }
+        Position::After(anchor) => {
+            let i = order
+                .iter()
+                .position(|n| n == anchor)
+                .ok_or_else(|| DavError::Conflict(format!("no sibling named {anchor}")))?;
+            order.insert(i + 1, member.to_owned());
+        }
+    }
+    Ok(())
+}
+
+/// Handle an `ORDERPATCH` request.
+pub fn handle(repo: &dyn Repository, req: &Request) -> Result<Response> {
+    let path = req.target.path();
+    if !repo.meta(path)?.is_collection {
+        return Err(DavError::BadRequest(
+            "ORDERPATCH applies to collections".into(),
+        ));
+    }
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| DavError::BadRequest("body is not UTF-8".into()))?;
+    let doc = Document::parse(text)?;
+    let root = doc.root();
+    if !root.is(Some(DAV_NS), "orderpatch") {
+        return Err(DavError::BadRequest("expected DAV:orderpatch".into()));
+    }
+
+    let mut order = ordered_children(repo, path)?;
+    for member_elem in root.children_named(Some(DAV_NS), "ordermember") {
+        let segment = member_elem
+            .child(Some(DAV_NS), "segment")
+            .map(|s| s.text().trim().to_owned())
+            .ok_or_else(|| DavError::BadRequest("ordermember without segment".into()))?;
+        if !repo.exists(&pse_http::uri::join_path(path, &segment)) {
+            return Err(DavError::Conflict(format!("no member named {segment}")));
+        }
+        let pos_elem = member_elem
+            .child(Some(DAV_NS), "position")
+            .ok_or_else(|| DavError::BadRequest("ordermember without position".into()))?;
+        let position = if pos_elem.child(Some(DAV_NS), "first").is_some() {
+            Position::First
+        } else if pos_elem.child(Some(DAV_NS), "last").is_some() {
+            Position::Last
+        } else if let Some(b) = pos_elem.child(Some(DAV_NS), "before") {
+            Position::Before(
+                b.child(Some(DAV_NS), "segment")
+                    .map(|s| s.text().trim().to_owned())
+                    .ok_or_else(|| DavError::BadRequest("before without segment".into()))?,
+            )
+        } else if let Some(a) = pos_elem.child(Some(DAV_NS), "after") {
+            Position::After(
+                a.child(Some(DAV_NS), "segment")
+                    .map(|s| s.text().trim().to_owned())
+                    .ok_or_else(|| DavError::BadRequest("after without segment".into()))?,
+            )
+        } else {
+            return Err(DavError::BadRequest("unknown position".into()));
+        };
+        apply(&mut order, &segment, &position)?;
+    }
+
+    repo.set_prop(
+        path,
+        &Property::text(order_prop_name(), &order.join("\n")),
+    )?;
+    Ok(Response::new(StatusCode::OK))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memrepo::MemRepository;
+    use pse_http::Method;
+
+    fn collection() -> MemRepository {
+        let r = MemRepository::new();
+        r.mkcol("/calc").unwrap();
+        for name in ["optimize", "frequency", "energy"] {
+            r.put(&format!("/calc/{name}"), b"", None).unwrap();
+        }
+        r
+    }
+
+    fn orderpatch(r: &MemRepository, body: &str) -> Result<Response> {
+        handle(r, &Request::new(Method::OrderPatch, "/calc").with_xml_body(body))
+    }
+
+    #[test]
+    fn default_order_is_name_sorted() {
+        let r = collection();
+        assert_eq!(
+            ordered_children(&r, "/calc").unwrap(),
+            vec!["energy", "frequency", "optimize"]
+        );
+    }
+
+    #[test]
+    fn first_last_before_after() {
+        let r = collection();
+        let body = r#"<D:orderpatch xmlns:D="DAV:">
+          <D:ordermember><D:segment>optimize</D:segment><D:position><D:first/></D:position></D:ordermember>
+          <D:ordermember><D:segment>energy</D:segment><D:position><D:last/></D:position></D:ordermember>
+          <D:ordermember><D:segment>frequency</D:segment>
+            <D:position><D:before><D:segment>energy</D:segment></D:before></D:position></D:ordermember>
+        </D:orderpatch>"#;
+        assert_eq!(orderpatch(&r, body).unwrap().status.code(), 200);
+        assert_eq!(
+            ordered_children(&r, "/calc").unwrap(),
+            vec!["optimize", "frequency", "energy"]
+        );
+        // Move with after.
+        let body = r#"<D:orderpatch xmlns:D="DAV:">
+          <D:ordermember><D:segment>optimize</D:segment>
+            <D:position><D:after><D:segment>frequency</D:segment></D:after></D:position></D:ordermember>
+        </D:orderpatch>"#;
+        orderpatch(&r, body).unwrap();
+        assert_eq!(
+            ordered_children(&r, "/calc").unwrap(),
+            vec!["frequency", "optimize", "energy"]
+        );
+    }
+
+    #[test]
+    fn new_members_append_after_ordered_ones() {
+        let r = collection();
+        let body = r#"<D:orderpatch xmlns:D="DAV:">
+          <D:ordermember><D:segment>optimize</D:segment><D:position><D:first/></D:position></D:ordermember>
+        </D:orderpatch>"#;
+        orderpatch(&r, body).unwrap();
+        r.put("/calc/zz-new", b"", None).unwrap();
+        let order = ordered_children(&r, "/calc").unwrap();
+        assert_eq!(order[0], "optimize");
+        assert!(order.contains(&"zz-new".to_owned()));
+    }
+
+    #[test]
+    fn deleted_members_drop_from_order() {
+        let r = collection();
+        let body = r#"<D:orderpatch xmlns:D="DAV:">
+          <D:ordermember><D:segment>energy</D:segment><D:position><D:first/></D:position></D:ordermember>
+        </D:orderpatch>"#;
+        orderpatch(&r, body).unwrap();
+        r.delete("/calc/energy").unwrap();
+        assert_eq!(
+            ordered_children(&r, "/calc").unwrap(),
+            vec!["frequency", "optimize"]
+        );
+    }
+
+    #[test]
+    fn unknown_member_conflicts() {
+        let r = collection();
+        let body = r#"<D:orderpatch xmlns:D="DAV:">
+          <D:ordermember><D:segment>ghost</D:segment><D:position><D:first/></D:position></D:ordermember>
+        </D:orderpatch>"#;
+        assert!(matches!(
+            orderpatch(&r, body),
+            Err(DavError::Conflict(_))
+        ));
+        let body = r#"<D:orderpatch xmlns:D="DAV:">
+          <D:ordermember><D:segment>energy</D:segment>
+            <D:position><D:before><D:segment>ghost</D:segment></D:before></D:position></D:ordermember>
+        </D:orderpatch>"#;
+        assert!(matches!(orderpatch(&r, body), Err(DavError::Conflict(_))));
+    }
+
+    #[test]
+    fn orderpatch_on_document_rejected() {
+        let r = collection();
+        let resp = handle(
+            &r,
+            &Request::new(Method::OrderPatch, "/calc/energy")
+                .with_xml_body(r#"<D:orderpatch xmlns:D="DAV:"/>"#),
+        );
+        assert!(resp.is_err());
+    }
+}

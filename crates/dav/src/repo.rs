@@ -1,0 +1,278 @@
+//! The repository abstraction behind the DAV handler.
+//!
+//! This is the paper's "schema-independent data store" boundary: the
+//! handler maps protocol methods onto these operations, and any storage
+//! that implements them (filesystem+DBM, in-memory, or something
+//! entirely different) can serve a PSE. Nothing in this trait knows
+//! anything about Ecce's schema — that is the point.
+
+use crate::error::{DavError, Result};
+use crate::property::{Property, PropertyName};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Metadata the protocol layer needs about one resource.
+#[derive(Debug, Clone)]
+pub struct ResourceMeta {
+    /// Collection (maps to a directory) or document (a file).
+    pub is_collection: bool,
+    /// Body length in bytes (0 for collections).
+    pub content_length: u64,
+    /// Last modification time.
+    pub modified: SystemTime,
+    /// Creation time (best effort; mtime where unavailable).
+    pub created: SystemTime,
+    /// Stored MIME type, if one was recorded at PUT time.
+    pub content_type: Option<String>,
+}
+
+impl ResourceMeta {
+    /// A weak entity tag derived from length and mtime, as Apache does.
+    pub fn etag(&self) -> String {
+        let secs = self
+            .modified
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        format!("\"{:x}-{:x}\"", self.content_length, secs)
+    }
+}
+
+/// A DAV storage backend. All methods are `&self`; implementations
+/// handle their own synchronisation (the server calls from many worker
+/// threads).
+pub trait Repository: Send + Sync + 'static {
+    /// Does a resource exist at `path`?
+    fn exists(&self, path: &str) -> bool;
+
+    /// Resource metadata; `NotFound` when absent.
+    fn meta(&self, path: &str) -> Result<ResourceMeta>;
+
+    /// Document body. `NotFound` for absent, `Conflict` for collections.
+    fn get(&self, path: &str) -> Result<Vec<u8>>;
+
+    /// Create or replace a document. Returns `true` when the resource
+    /// was created (201) vs overwritten (204). `Conflict` when the
+    /// parent collection is missing (RFC 2518 §8.7.1).
+    fn put(&self, path: &str, data: &[u8], content_type: Option<&str>) -> Result<bool>;
+
+    /// Create a collection. `Conflict` for a missing parent; 405-style
+    /// error if the resource exists.
+    fn mkcol(&self, path: &str) -> Result<()>;
+
+    /// Delete a resource (recursively for collections).
+    fn delete(&self, path: &str) -> Result<()>;
+
+    /// Recursive copy, including dead properties. Returns `true` when
+    /// the destination was created fresh.
+    fn copy(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool>;
+
+    /// Rename/move, including dead properties.
+    fn rename(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool>;
+
+    /// Names (not paths) of a collection's children, sorted.
+    fn list(&self, path: &str) -> Result<Vec<String>>;
+
+    /// Read one dead property.
+    fn get_prop(&self, path: &str, name: &PropertyName) -> Result<Option<Property>>;
+
+    /// All dead property names on `path`.
+    fn list_props(&self, path: &str) -> Result<Vec<PropertyName>>;
+
+    /// Write one dead property.
+    fn set_prop(&self, path: &str, prop: &Property) -> Result<()>;
+
+    /// Remove one dead property; `Ok(false)` when it was absent.
+    fn remove_prop(&self, path: &str, name: &PropertyName) -> Result<bool>;
+
+    /// Total bytes the repository occupies on disk (data + metadata) —
+    /// the figure the §3.2.4 migration study compares across backends.
+    fn disk_usage(&self) -> Result<u64>;
+
+    /// The protocol-computed ("live") properties of a resource.
+    fn live_props(&self, path: &str) -> Result<Vec<Property>> {
+        let meta = self.meta(path)?;
+        let mut props = Vec::with_capacity(7);
+        props.push(Property::text(
+            PropertyName::dav("creationdate"),
+            &format_iso8601(meta.created),
+        ));
+        props.push(Property::text(
+            PropertyName::dav("getlastmodified"),
+            &format_http_date(meta.modified),
+        ));
+        props.push(Property::text(
+            PropertyName::dav("getcontentlength"),
+            &meta.content_length.to_string(),
+        ));
+        if let Some(ct) = &meta.content_type {
+            props.push(Property::text(PropertyName::dav("getcontenttype"), ct));
+        }
+        props.push(Property::text(PropertyName::dav("getetag"), &meta.etag()));
+        // resourcetype: empty for documents, <D:collection/> inside for
+        // collections.
+        let mut rt = pse_xml::dom::Element::new(Some(crate::property::DAV_NS), "resourcetype");
+        if meta.is_collection {
+            rt.push_elem(pse_xml::dom::Element::new(
+                Some(crate::property::DAV_NS),
+                "collection",
+            ));
+        }
+        props.push(Property::from_element(rt));
+        props.push(Property::text(
+            PropertyName::dav("displayname"),
+            pse_http::uri::basename(path),
+        ));
+        Ok(props)
+    }
+
+    /// Dead + live properties together (PROPFIND allprop).
+    fn all_props(&self, path: &str) -> Result<Vec<Property>> {
+        let mut props = self.live_props(path)?;
+        for name in self.list_props(path)? {
+            if let Some(p) = self.get_prop(path, &name)? {
+                props.push(p);
+            }
+        }
+        Ok(props)
+    }
+
+    /// Walk a subtree depth-first, calling `visit` with each path.
+    /// `max_depth` of `None` means unlimited.
+    fn walk(&self, path: &str, max_depth: Option<u32>, visit: &mut dyn FnMut(&str)) -> Result<()> {
+        visit(path);
+        let descend = max_depth.map(|d| d > 0).unwrap_or(true);
+        if descend && self.meta(path)?.is_collection {
+            for child in self.list(path)? {
+                let child_path = pse_http::uri::join_path(path, &child);
+                self.walk(&child_path, max_depth.map(|d| d - 1), visit)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ensure a path has a parent that exists and is a collection.
+pub fn require_parent(repo: &dyn Repository, path: &str) -> Result<()> {
+    let parent = pse_http::uri::parent_path(path);
+    if parent != path && (!repo.exists(&parent) || !repo.meta(&parent)?.is_collection) {
+        return Err(DavError::Conflict(parent));
+    }
+    Ok(())
+}
+
+// ---- date formatting (no chrono offline; civil-from-days arithmetic) ----
+
+/// Days-since-epoch → (year, month, day), Howard Hinnant's algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn split_time(t: SystemTime) -> (i64, u32, u32, u32, u32, u32, u32) {
+    let secs = match t.duration_since(UNIX_EPOCH) {
+        Ok(d) => d.as_secs() as i64,
+        Err(e) => -(e.duration().as_secs() as i64),
+    };
+    let days = secs.div_euclid(86_400);
+    let tod = secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    let weekday = (days + 4).rem_euclid(7) as u32; // 1970-01-01 was Thursday
+    (
+        y,
+        m,
+        d,
+        (tod / 3600) as u32,
+        ((tod / 60) % 60) as u32,
+        (tod % 60) as u32,
+        weekday,
+    )
+}
+
+const DAY_NAMES: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// RFC 1123 format for `getlastmodified`: `Sun, 06 Nov 1994 08:49:37 GMT`.
+pub fn format_http_date(t: SystemTime) -> String {
+    let (y, m, d, hh, mm, ss, wd) = split_time(t);
+    format!(
+        "{}, {d:02} {} {y:04} {hh:02}:{mm:02}:{ss:02} GMT",
+        DAY_NAMES[wd as usize],
+        MONTH_NAMES[(m - 1) as usize]
+    )
+}
+
+/// ISO 8601 format for `creationdate`: `1997-12-01T17:42:21Z`.
+pub fn format_iso8601(t: SystemTime) -> String {
+    let (y, m, d, hh, mm, ss, _) = split_time(t);
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn at(secs: u64) -> SystemTime {
+        UNIX_EPOCH + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn epoch_formats() {
+        assert_eq!(format_http_date(at(0)), "Thu, 01 Jan 1970 00:00:00 GMT");
+        assert_eq!(format_iso8601(at(0)), "1970-01-01T00:00:00Z");
+    }
+
+    #[test]
+    fn known_dates() {
+        // 1994-11-06 08:49:37 UTC — the RFC 1123 example.
+        assert_eq!(
+            format_http_date(at(784_111_777)),
+            "Sun, 06 Nov 1994 08:49:37 GMT"
+        );
+        // The paper's Ecce 2.0 release month: July 2001.
+        assert_eq!(format_iso8601(at(994_000_000)), "2001-07-01T15:06:40Z");
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2000-02-29 (leap day in a century leap year).
+        assert_eq!(format_iso8601(at(951_782_400)), "2000-02-29T00:00:00Z");
+        // 2100 is NOT a leap year: 2100-03-01 follows 2100-02-28.
+        let feb28_2100: i64 = 4_107_456_000;
+        assert_eq!(
+            format_iso8601(at(feb28_2100 as u64)),
+            "2100-02-28T00:00:00Z"
+        );
+        assert_eq!(
+            format_iso8601(at((feb28_2100 + 86_400) as u64)),
+            "2100-03-01T00:00:00Z"
+        );
+    }
+
+    #[test]
+    fn etag_varies_with_meta() {
+        let m1 = ResourceMeta {
+            is_collection: false,
+            content_length: 10,
+            modified: at(100),
+            created: at(100),
+            content_type: None,
+        };
+        let mut m2 = m1.clone();
+        m2.content_length = 11;
+        assert_ne!(m1.etag(), m2.etag());
+        let mut m3 = m1.clone();
+        m3.modified = at(101);
+        assert_ne!(m1.etag(), m3.etag());
+    }
+}

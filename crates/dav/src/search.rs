@@ -1,0 +1,386 @@
+//! DASL-style `SEARCH` (draft-dasl-protocol-00, simplified).
+//!
+//! The paper lists "DAV Searching and Locating (DASL)" among the
+//! extensions that "promise additional PSE-relevant capabilities" — this
+//! module implements the `basicsearch` grammar subset a PSE query
+//! interface needs: a scope, a `where` tree over properties
+//! (`eq`/`contains`/`gt`/`lt`/`isdefined` composed with
+//! `and`/`or`/`not`), and a `select` list returned per matching resource.
+//! The Ecce metadata query layer ("search the data store for DAV
+//! documents matching the formula metadata") runs on this.
+
+use crate::error::{DavError, Result};
+use crate::multistatus::{Multistatus, PropStat};
+use crate::property::{Property, PropertyName, DAV_NS};
+use crate::repo::Repository;
+use pse_http::{Request, Response, StatusCode};
+use pse_xml::dom::{Document, Element};
+
+/// A parsed `where` condition tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Property text equals the literal (case-sensitive).
+    Eq(PropertyName, String),
+    /// Property text contains the literal substring.
+    Contains(PropertyName, String),
+    /// Property parses as f64 and is greater than the literal.
+    Gt(PropertyName, f64),
+    /// Property parses as f64 and is less than the literal.
+    Lt(PropertyName, f64),
+    /// The property exists on the resource.
+    IsDefined(PropertyName),
+    /// All sub-conditions hold.
+    And(Vec<Condition>),
+    /// Any sub-condition holds.
+    Or(Vec<Condition>),
+    /// The sub-condition does not hold.
+    Not(Box<Condition>),
+    /// Matches everything (empty where clause).
+    True,
+}
+
+impl Condition {
+    /// Evaluate against a resource's properties (live + dead).
+    pub fn eval(&self, props: &[Property]) -> bool {
+        let text_of = |name: &PropertyName| -> Option<String> {
+            props.iter().find(|p| &p.name == name).map(|p| p.text_value())
+        };
+        match self {
+            Condition::Eq(n, v) => text_of(n).is_some_and(|t| &t == v),
+            Condition::Contains(n, v) => text_of(n).is_some_and(|t| t.contains(v.as_str())),
+            Condition::Gt(n, v) => text_of(n)
+                .and_then(|t| t.trim().parse::<f64>().ok())
+                .is_some_and(|x| x > *v),
+            Condition::Lt(n, v) => text_of(n)
+                .and_then(|t| t.trim().parse::<f64>().ok())
+                .is_some_and(|x| x < *v),
+            Condition::IsDefined(n) => text_of(n).is_some(),
+            Condition::And(cs) => cs.iter().all(|c| c.eval(props)),
+            Condition::Or(cs) => cs.iter().any(|c| c.eval(props)),
+            Condition::Not(c) => !c.eval(props),
+            Condition::True => true,
+        }
+    }
+}
+
+/// A parsed basicsearch query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Paths to search from.
+    pub scope: String,
+    /// Depth limit (`None` = infinity).
+    pub depth: Option<u32>,
+    /// Properties to return for matches (empty = allprop).
+    pub select: Vec<PropertyName>,
+    /// Filter tree.
+    pub condition: Condition,
+}
+
+fn prop_name_of(elem: &Element) -> Result<PropertyName> {
+    let prop = elem
+        .child(Some(DAV_NS), "prop")
+        .ok_or_else(|| DavError::BadRequest("operator without DAV:prop".into()))?;
+    let inner = prop
+        .children_elems()
+        .next()
+        .ok_or_else(|| DavError::BadRequest("empty DAV:prop in operator".into()))?;
+    Ok(PropertyName::new(
+        inner.namespace().unwrap_or(""),
+        &inner.name.local,
+    ))
+}
+
+fn literal_of(elem: &Element) -> Result<String> {
+    Ok(elem
+        .child(Some(DAV_NS), "literal")
+        .ok_or_else(|| DavError::BadRequest("operator without DAV:literal".into()))?
+        .text())
+}
+
+fn parse_condition(elem: &Element) -> Result<Condition> {
+    let local = elem.name.local.as_str();
+    if elem.namespace() != Some(DAV_NS) {
+        return Err(DavError::BadRequest(format!(
+            "unknown search operator namespace on <{local}>"
+        )));
+    }
+    Ok(match local {
+        "eq" => Condition::Eq(prop_name_of(elem)?, literal_of(elem)?),
+        "like" | "contains" => Condition::Contains(prop_name_of(elem)?, literal_of(elem)?),
+        "gt" => Condition::Gt(
+            prop_name_of(elem)?,
+            literal_of(elem)?.trim().parse().map_err(|_| {
+                DavError::BadRequest("gt literal is not numeric".into())
+            })?,
+        ),
+        "lt" => Condition::Lt(
+            prop_name_of(elem)?,
+            literal_of(elem)?.trim().parse().map_err(|_| {
+                DavError::BadRequest("lt literal is not numeric".into())
+            })?,
+        ),
+        "isdefined" => Condition::IsDefined(prop_name_of(elem)?),
+        "and" => Condition::And(
+            elem.children_elems()
+                .map(parse_condition)
+                .collect::<Result<_>>()?,
+        ),
+        "or" => Condition::Or(
+            elem.children_elems()
+                .map(parse_condition)
+                .collect::<Result<_>>()?,
+        ),
+        "not" => Condition::Not(Box::new(parse_condition(
+            elem.children_elems()
+                .next()
+                .ok_or_else(|| DavError::BadRequest("empty not".into()))?,
+        )?)),
+        other => {
+            return Err(DavError::BadRequest(format!(
+                "unsupported search operator <{other}>"
+            )))
+        }
+    })
+}
+
+/// Parse a `searchrequest` body.
+pub fn parse_query(body: &[u8]) -> Result<Query> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| DavError::BadRequest("body is not UTF-8".into()))?;
+    let doc = Document::parse(text)?;
+    let root = doc.root();
+    if !root.is(Some(DAV_NS), "searchrequest") {
+        return Err(DavError::BadRequest("expected DAV:searchrequest".into()));
+    }
+    let basic = root
+        .child(Some(DAV_NS), "basicsearch")
+        .ok_or_else(|| DavError::BadRequest("only basicsearch is supported".into()))?;
+
+    let mut scope = "/".to_owned();
+    let mut depth = None;
+    if let Some(from) = basic.child(Some(DAV_NS), "from") {
+        if let Some(sc) = from.child(Some(DAV_NS), "scope") {
+            if let Some(href) = sc.child(Some(DAV_NS), "href") {
+                scope = pse_http::uri::normalize_path(&pse_http::uri::percent_decode(
+                    href.text().trim(),
+                ));
+            }
+            depth = match sc
+                .child(Some(DAV_NS), "depth")
+                .map(|d| d.text().trim().to_owned())
+                .as_deref()
+            {
+                Some("0") => Some(0),
+                Some("1") => Some(1),
+                _ => None,
+            };
+        }
+    }
+
+    let select = basic
+        .child(Some(DAV_NS), "select")
+        .and_then(|s| s.child(Some(DAV_NS), "prop"))
+        .map(|prop| {
+            prop.children_elems()
+                .map(|e| PropertyName::new(e.namespace().unwrap_or(""), &e.name.local))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let condition = match basic.child(Some(DAV_NS), "where") {
+        Some(w) => match w.children_elems().next() {
+            Some(c) => parse_condition(c)?,
+            None => Condition::True,
+        },
+        None => Condition::True,
+    };
+
+    Ok(Query {
+        scope,
+        depth,
+        select,
+        condition,
+    })
+}
+
+/// Execute a query against a repository.
+pub fn execute(repo: &dyn Repository, query: &Query) -> Result<Multistatus> {
+    if !repo.exists(&query.scope) {
+        return Err(DavError::NotFound(query.scope.clone()));
+    }
+    let mut paths = Vec::new();
+    repo.walk(&query.scope, query.depth, &mut |p| paths.push(p.to_owned()))?;
+    let mut ms = Multistatus::new();
+    for path in paths {
+        let props = repo.all_props(&path)?;
+        if !query.condition.eval(&props) {
+            continue;
+        }
+        let returned: Vec<Property> = if query.select.is_empty() {
+            props
+        } else {
+            query
+                .select
+                .iter()
+                .filter_map(|n| props.iter().find(|p| &p.name == n).cloned())
+                .collect()
+        };
+        ms.push_propstats(
+            &path,
+            vec![PropStat {
+                props: returned,
+                status: StatusCode::OK,
+            }],
+        );
+    }
+    Ok(ms)
+}
+
+/// The SEARCH method entry point used by the handler.
+pub fn handle(repo: &dyn Repository, req: &Request) -> Result<Response> {
+    let query = parse_query(&req.body)?;
+    let ms = execute(repo, &query)?;
+    Ok(Response::new(StatusCode::MULTI_STATUS).with_xml_body(ms.to_xml()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memrepo::MemRepository;
+
+    fn repo_with_molecules() -> MemRepository {
+        let r = MemRepository::new();
+        r.mkcol("/mols").unwrap();
+        for (name, formula, charge) in [
+            ("water", "H2O", "0"),
+            ("uranyl", "UO2", "+2"),
+            ("hydroxide", "OH", "-1"),
+        ] {
+            let path = format!("/mols/{name}");
+            r.put(&path, b"geometry", None).unwrap();
+            r.set_prop(
+                &path,
+                &Property::text(PropertyName::new("urn:ecce", "formula"), formula),
+            )
+            .unwrap();
+            r.set_prop(
+                &path,
+                &Property::text(PropertyName::new("urn:ecce", "charge"), charge),
+            )
+            .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn eq_search_finds_one() {
+        let r = repo_with_molecules();
+        let body = r#"<D:searchrequest xmlns:D="DAV:" xmlns:e="urn:ecce">
+          <D:basicsearch>
+            <D:select><D:prop><e:formula/></D:prop></D:select>
+            <D:from><D:scope><D:href>/mols</D:href></D:scope></D:from>
+            <D:where><D:eq><D:prop><e:formula/></D:prop><D:literal>UO2</D:literal></D:eq></D:where>
+          </D:basicsearch></D:searchrequest>"#;
+        let q = parse_query(body.as_bytes()).unwrap();
+        let ms = execute(&r, &q).unwrap();
+        assert_eq!(ms.responses.len(), 1);
+        assert_eq!(ms.responses[0].href, "/mols/uranyl");
+        assert_eq!(
+            ms.responses[0]
+                .prop(&PropertyName::new("urn:ecce", "formula"))
+                .unwrap()
+                .text_value(),
+            "UO2"
+        );
+    }
+
+    #[test]
+    fn contains_and_not() {
+        let r = repo_with_molecules();
+        let cond = Condition::And(vec![
+            Condition::Contains(PropertyName::new("urn:ecce", "formula"), "O".into()),
+            Condition::Not(Box::new(Condition::Eq(
+                PropertyName::new("urn:ecce", "charge"),
+                "+2".into(),
+            ))),
+        ]);
+        let q = Query {
+            scope: "/mols".into(),
+            depth: None,
+            select: vec![],
+            condition: cond,
+        };
+        let ms = execute(&r, &q).unwrap();
+        let hrefs: Vec<_> = ms.responses.iter().map(|e| e.href.as_str()).collect();
+        assert_eq!(hrefs, vec!["/mols/hydroxide", "/mols/water"]);
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        let r = repo_with_molecules();
+        let q = Query {
+            scope: "/".into(),
+            depth: None,
+            select: vec![],
+            condition: Condition::Gt(PropertyName::new("urn:ecce", "charge"), 0.0),
+        };
+        let ms = execute(&r, &q).unwrap();
+        assert_eq!(ms.responses.len(), 1);
+        assert_eq!(ms.responses[0].href, "/mols/uranyl");
+        // lt finds the hydroxide.
+        let q = Query {
+            condition: Condition::Lt(PropertyName::new("urn:ecce", "charge"), 0.0),
+            ..q
+        };
+        let ms = execute(&r, &q).unwrap();
+        assert_eq!(ms.responses[0].href, "/mols/hydroxide");
+    }
+
+    #[test]
+    fn isdefined_matches_resources_with_metadata() {
+        let r = repo_with_molecules();
+        r.put("/mols/bare", b"", None).unwrap();
+        let q = Query {
+            scope: "/mols".into(),
+            depth: Some(1),
+            select: vec![],
+            condition: Condition::IsDefined(PropertyName::new("urn:ecce", "formula")),
+        };
+        let ms = execute(&r, &q).unwrap();
+        assert_eq!(ms.responses.len(), 3);
+        assert!(ms.response_for("/mols/bare").is_none());
+    }
+
+    #[test]
+    fn empty_where_matches_all_in_scope() {
+        let r = repo_with_molecules();
+        let body = r#"<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+            <D:from><D:scope><D:href>/mols</D:href><D:depth>1</D:depth></D:scope></D:from>
+        </D:basicsearch></D:searchrequest>"#;
+        let q = parse_query(body.as_bytes()).unwrap();
+        let ms = execute(&r, &q).unwrap();
+        assert_eq!(ms.responses.len(), 4); // collection + 3 molecules
+    }
+
+    #[test]
+    fn bad_queries_rejected() {
+        assert!(parse_query(b"<D:searchrequest xmlns:D=\"DAV:\"/>").is_err());
+        assert!(parse_query(b"not xml").is_err());
+        let body = r#"<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+          <D:where><D:gt><D:prop><D:x/></D:prop><D:literal>abc</D:literal></D:gt></D:where>
+        </D:basicsearch></D:searchrequest>"#;
+        assert!(parse_query(body.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn missing_scope_is_404() {
+        let r = MemRepository::new();
+        let q = Query {
+            scope: "/nope".into(),
+            depth: None,
+            select: vec![],
+            condition: Condition::True,
+        };
+        assert!(matches!(execute(&r, &q), Err(DavError::NotFound(_))));
+    }
+}

@@ -1,0 +1,48 @@
+//! Tie a [`DavHandler`] to the HTTP server — the Apache+mod_dav analogue.
+
+use crate::error::Result;
+use crate::handler::DavHandler;
+use crate::repo::Repository;
+use pse_http::server::{Server, ServerConfig};
+use std::net::ToSocketAddrs;
+
+/// Serve a DAV handler on `addr` with the given connection management
+/// configuration. The returned [`Server`] owns the worker pool; call
+/// [`Server::shutdown`] to stop it.
+pub fn serve<A, R>(addr: A, config: ServerConfig, handler: DavHandler<R>) -> Result<Server>
+where
+    A: ToSocketAddrs,
+    R: Repository,
+{
+    Ok(Server::bind(addr, config, move |req| handler.handle(req))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memrepo::MemRepository;
+    use pse_http::{Client, Method, Request};
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let srv = serve(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            DavHandler::new(MemRepository::new()),
+        )
+        .unwrap();
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        assert_eq!(
+            c.send(Request::new(Method::MkCol, "/proj")).unwrap().status.code(),
+            201
+        );
+        assert_eq!(c.put("/proj/doc", "hello").unwrap().status.code(), 201);
+        assert_eq!(c.get("/proj/doc").unwrap().body_text(), "hello");
+        let resp = c
+            .send(Request::new(Method::PropFind, "/proj").with_header("Depth", "1"))
+            .unwrap();
+        assert_eq!(resp.status.code(), 207);
+        assert!(resp.body_text().contains("multistatus"));
+        srv.shutdown();
+    }
+}

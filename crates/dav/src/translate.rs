@@ -1,0 +1,300 @@
+//! Server-side metadata translation between schemas — the paper's
+//! closing vision, implemented.
+//!
+//! "Using XML stylesheet language translations (XSLT), a DAV server
+//! could be extended to translate metadata for applications built using
+//! different schema. Thus, developers can encode the mapping between
+//! their object schemas external to their applications in a dynamically
+//! evolvable form."
+//!
+//! [`TranslatingRepository`] wraps any [`Repository`] with a
+//! [`SchemaMap`]: a set of alias rules `(foreign name → canonical
+//! name)`. Reads of a foreign property are answered from the canonical
+//! one (renamed on the way out); writes through a foreign name land on
+//! the canonical name; `list_props` advertises both. The map lives
+//! outside every application — exactly the deployment story the paper
+//! sketches — so e.g. a CML-speaking tool can read
+//! `{http://www.xml-cml.org/schema}formula` from data Ecce wrote as
+//! `{http://emsl.pnl.gov/ecce}formula`, with neither application
+//! changing.
+
+use crate::error::Result;
+use crate::property::{Property, PropertyName};
+use crate::repo::{Repository, ResourceMeta};
+use std::collections::HashMap;
+
+/// An externally-maintained schema mapping: foreign ↔ canonical names.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaMap {
+    to_canonical: HashMap<PropertyName, PropertyName>,
+    to_foreign: HashMap<PropertyName, Vec<PropertyName>>,
+}
+
+impl SchemaMap {
+    /// An empty map (pure pass-through).
+    pub fn new() -> SchemaMap {
+        SchemaMap::default()
+    }
+
+    /// Declare that `foreign` is another schema's name for `canonical`.
+    pub fn alias(mut self, foreign: PropertyName, canonical: PropertyName) -> SchemaMap {
+        self.to_foreign
+            .entry(canonical.clone())
+            .or_default()
+            .push(foreign.clone());
+        self.to_canonical.insert(foreign, canonical);
+        self
+    }
+
+    /// Resolve a (possibly foreign) name to its canonical form.
+    pub fn canonical<'a>(&'a self, name: &'a PropertyName) -> &'a PropertyName {
+        self.to_canonical.get(name).unwrap_or(name)
+    }
+
+    /// Foreign names advertised for a canonical one.
+    pub fn foreign_names(&self, canonical: &PropertyName) -> &[PropertyName] {
+        self.to_foreign
+            .get(canonical)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of alias rules.
+    pub fn len(&self) -> usize {
+        self.to_canonical.len()
+    }
+
+    /// No rules?
+    pub fn is_empty(&self) -> bool {
+        self.to_canonical.is_empty()
+    }
+}
+
+/// A repository view that translates property names per a [`SchemaMap`].
+pub struct TranslatingRepository<R: Repository> {
+    inner: R,
+    map: SchemaMap,
+}
+
+impl<R: Repository> TranslatingRepository<R> {
+    /// Wrap `inner` with `map`.
+    pub fn new(inner: R, map: SchemaMap) -> TranslatingRepository<R> {
+        TranslatingRepository { inner, map }
+    }
+
+    /// The active map.
+    pub fn map(&self) -> &SchemaMap {
+        &self.map
+    }
+
+    /// Rename a property's value element to a (foreign) name.
+    fn rename(prop: Property, name: &PropertyName) -> Property {
+        let mut value = prop.value;
+        value.name = pse_xml::QName::local(&name.local);
+        value.namespace = Some(name.namespace.clone());
+        Property {
+            name: name.clone(),
+            value,
+        }
+    }
+}
+
+impl<R: Repository> Repository for TranslatingRepository<R> {
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn meta(&self, path: &str) -> Result<ResourceMeta> {
+        self.inner.meta(path)
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        self.inner.get(path)
+    }
+
+    fn put(&self, path: &str, data: &[u8], content_type: Option<&str>) -> Result<bool> {
+        self.inner.put(path, data, content_type)
+    }
+
+    fn mkcol(&self, path: &str) -> Result<()> {
+        self.inner.mkcol(path)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.inner.delete(path)
+    }
+
+    fn copy(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
+        self.inner.copy(src, dst, overwrite)
+    }
+
+    fn rename(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
+        self.inner.rename(src, dst, overwrite)
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<String>> {
+        self.inner.list(path)
+    }
+
+    fn get_prop(&self, path: &str, name: &PropertyName) -> Result<Option<Property>> {
+        let canonical = self.map.canonical(name);
+        match self.inner.get_prop(path, canonical)? {
+            Some(p) if canonical != name => Ok(Some(Self::rename(p, name))),
+            other => Ok(other),
+        }
+    }
+
+    fn list_props(&self, path: &str) -> Result<Vec<PropertyName>> {
+        let mut names = self.inner.list_props(path)?;
+        let mut aliases = Vec::new();
+        for n in &names {
+            aliases.extend(self.map.foreign_names(n).iter().cloned());
+        }
+        names.extend(aliases);
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    fn set_prop(&self, path: &str, prop: &Property) -> Result<()> {
+        let canonical = self.map.canonical(&prop.name);
+        if canonical != &prop.name {
+            let renamed = Self::rename(prop.clone(), canonical);
+            return self.inner.set_prop(path, &renamed);
+        }
+        self.inner.set_prop(path, prop)
+    }
+
+    fn remove_prop(&self, path: &str, name: &PropertyName) -> Result<bool> {
+        self.inner.remove_prop(path, self.map.canonical(name))
+    }
+
+    fn disk_usage(&self) -> Result<u64> {
+        self.inner.disk_usage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memrepo::MemRepository;
+
+    const ECCE: &str = "http://emsl.pnl.gov/ecce";
+    const CML: &str = "http://www.xml-cml.org/schema";
+
+    fn rig() -> TranslatingRepository<MemRepository> {
+        let map = SchemaMap::new()
+            .alias(
+                PropertyName::new(CML, "formula"),
+                PropertyName::new(ECCE, "formula"),
+            )
+            .alias(
+                PropertyName::new(CML, "formalCharge"),
+                PropertyName::new(ECCE, "charge"),
+            );
+        TranslatingRepository::new(MemRepository::new(), map)
+    }
+
+    #[test]
+    fn foreign_reads_see_canonical_data() {
+        let repo = rig();
+        repo.put("/mol", b"", None).unwrap();
+        // Ecce writes in its namespace...
+        repo.set_prop(
+            "/mol",
+            &Property::text(PropertyName::new(ECCE, "formula"), "UO2"),
+        )
+        .unwrap();
+        // ...a CML application reads through its own name.
+        let got = repo
+            .get_prop("/mol", &PropertyName::new(CML, "formula"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.text_value(), "UO2");
+        // And the returned element *is* in the CML namespace.
+        assert_eq!(got.value.namespace(), Some(CML));
+        assert_eq!(got.name, PropertyName::new(CML, "formula"));
+    }
+
+    #[test]
+    fn foreign_writes_land_canonically() {
+        let repo = rig();
+        repo.put("/mol", b"", None).unwrap();
+        repo.set_prop(
+            "/mol",
+            &Property::text(PropertyName::new(CML, "formalCharge"), "2"),
+        )
+        .unwrap();
+        // Ecce sees it under its own name, untranslated.
+        assert_eq!(
+            repo.get_prop("/mol", &PropertyName::new(ECCE, "charge"))
+                .unwrap()
+                .unwrap()
+                .text_value(),
+            "2"
+        );
+        // Exactly one stored property (no duplication).
+        let stored = repo.list_props("/mol").unwrap();
+        assert!(stored.contains(&PropertyName::new(ECCE, "charge")));
+        assert!(stored.contains(&PropertyName::new(CML, "formalCharge")));
+    }
+
+    #[test]
+    fn unmapped_names_pass_through() {
+        let repo = rig();
+        repo.put("/m", b"", None).unwrap();
+        let name = PropertyName::new("urn:other", "thing");
+        repo.set_prop("/m", &Property::text(name.clone(), "x")).unwrap();
+        assert_eq!(
+            repo.get_prop("/m", &name).unwrap().unwrap().text_value(),
+            "x"
+        );
+        assert!(repo.remove_prop("/m", &name).unwrap());
+    }
+
+    #[test]
+    fn remove_through_foreign_name() {
+        let repo = rig();
+        repo.put("/m", b"", None).unwrap();
+        repo.set_prop(
+            "/m",
+            &Property::text(PropertyName::new(ECCE, "formula"), "H2O"),
+        )
+        .unwrap();
+        assert!(repo
+            .remove_prop("/m", &PropertyName::new(CML, "formula"))
+            .unwrap());
+        assert!(repo
+            .get_prop("/m", &PropertyName::new(ECCE, "formula"))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn works_through_full_protocol_stack() {
+        // A CML client PROPFINDs over the wire against a translating
+        // server that stores Ecce-namespace data.
+        let repo = rig();
+        repo.put("/mol", b"geometry", None).unwrap();
+        repo.set_prop(
+            "/mol",
+            &Property::text(PropertyName::new(ECCE, "formula"), "CH4"),
+        )
+        .unwrap();
+        let server = crate::server::serve(
+            "127.0.0.1:0",
+            Default::default(),
+            crate::handler::DavHandler::new(repo),
+        )
+        .unwrap();
+        let mut client = crate::client::DavClient::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            client
+                .get_prop("/mol", &PropertyName::new(CML, "formula"))
+                .unwrap()
+                .as_deref(),
+            Some("CH4")
+        );
+        server.shutdown();
+    }
+}

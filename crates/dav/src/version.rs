@@ -1,0 +1,282 @@
+//! DeltaV-lite linear versioning.
+//!
+//! The paper tracks the "Goals for Web Versioning" (DeltaV) drafts as a
+//! promised capability. This module provides the useful core for a PSE:
+//!
+//! * `VERSION-CONTROL` on a document starts its history (version 1 =
+//!   current content);
+//! * every subsequent `PUT` **auto-versions**: the pre-PUT content is
+//!   snapshotted (checked by the handler via
+//!   [`VersionStore::snapshot_if_versioned`]);
+//! * `REPORT` with `DAV:version-tree` lists the history, and with
+//!   `DAV:version-content` retrieves one version's body.
+//!
+//! Histories are held by the server (not the repository), mirroring how
+//! mod_dav kept lock state out of the data store.
+
+use crate::error::{DavError, Result};
+use crate::property::DAV_NS;
+use crate::repo::Repository;
+use parking_lot::Mutex;
+use pse_http::{Request, Response, StatusCode};
+use pse_xml::dom::{Document, Element};
+use pse_xml::writer::Writer;
+use std::collections::HashMap;
+
+/// One stored version of a document.
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// 1-based version number.
+    pub number: u32,
+    /// The document body at that version.
+    pub content: Vec<u8>,
+}
+
+/// The server-side version history table.
+#[derive(Debug, Default)]
+pub struct VersionStore {
+    histories: Mutex<HashMap<String, Vec<Version>>>,
+}
+
+impl VersionStore {
+    /// An empty store.
+    pub fn new() -> VersionStore {
+        VersionStore::default()
+    }
+
+    /// Is `path` under version control?
+    pub fn is_versioned(&self, path: &str) -> bool {
+        self.histories.lock().contains_key(path)
+    }
+
+    /// Number of stored versions for `path`.
+    pub fn version_count(&self, path: &str) -> usize {
+        self.histories.lock().get(path).map_or(0, Vec::len)
+    }
+
+    /// Handle `VERSION-CONTROL`: put the target under version control.
+    pub fn version_control(&self, repo: &dyn Repository, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        let meta = repo.meta(path)?;
+        if meta.is_collection {
+            return Err(DavError::BadRequest(
+                "collections cannot be version-controlled".into(),
+            ));
+        }
+        let mut h = self.histories.lock();
+        if h.contains_key(path) {
+            // Idempotent per DeltaV.
+            return Ok(Response::ok());
+        }
+        let content = repo.get(path)?;
+        h.insert(
+            path.to_owned(),
+            vec![Version { number: 1, content }],
+        );
+        Ok(Response::ok())
+    }
+
+    /// Called by the handler before a PUT overwrites a versioned
+    /// resource: append the *new* content as a version after the write.
+    /// (We snapshot post-write so the newest version always matches the
+    /// stored document.)
+    pub fn snapshot_if_versioned(&self, repo: &dyn Repository, path: &str) -> Result<()> {
+        // Snapshot the incoming state lazily: the handler calls this
+        // before writing, so we record the current (soon-to-be-previous)
+        // content only if it differs from the newest stored version.
+        let mut h = self.histories.lock();
+        let Some(history) = h.get_mut(path) else {
+            return Ok(());
+        };
+        let current = repo.get(path)?;
+        let newest = history.last().expect("histories are never empty");
+        if newest.content != current {
+            let number = newest.number + 1;
+            history.push(Version {
+                number,
+                content: current,
+            });
+        }
+        Ok(())
+    }
+
+    /// Record the just-written content as the newest version (called by
+    /// the handler after a successful PUT on a versioned resource).
+    pub fn record_put(&self, path: &str, content: &[u8]) {
+        let mut h = self.histories.lock();
+        if let Some(history) = h.get_mut(path) {
+            let newest = history.last().expect("histories are never empty");
+            if newest.content != content {
+                let number = newest.number + 1;
+                history.push(Version {
+                    number,
+                    content: content.to_vec(),
+                });
+            }
+        }
+    }
+
+    /// Handle `REPORT`.
+    pub fn report(&self, repo: &dyn Repository, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        if !repo.exists(path) {
+            return Err(DavError::NotFound(path.to_owned()));
+        }
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| DavError::BadRequest("body is not UTF-8".into()))?;
+        let doc = Document::parse(text)?;
+        let root = doc.root();
+        if root.is(Some(DAV_NS), "version-tree") {
+            return self.version_tree_report(path);
+        }
+        if root.is(Some(DAV_NS), "version-content") {
+            let number: u32 = root
+                .child(Some(DAV_NS), "version")
+                .map(|v| v.text().trim().to_owned())
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| {
+                    DavError::BadRequest("version-content needs a numeric DAV:version".into())
+                })?;
+            let h = self.histories.lock();
+            let history = h
+                .get(path)
+                .ok_or_else(|| DavError::BadRequest("resource is not versioned".into()))?;
+            let v = history
+                .iter()
+                .find(|v| v.number == number)
+                .ok_or_else(|| DavError::NotFound(format!("{path} version {number}")))?;
+            return Ok(Response::ok()
+                .with_header("Content-Type", "application/octet-stream")
+                .with_header("X-Version", number.to_string())
+                .with_body(v.content.clone()));
+        }
+        Err(DavError::BadRequest(
+            "supported reports: DAV:version-tree, DAV:version-content".into(),
+        ))
+    }
+
+    fn version_tree_report(&self, path: &str) -> Result<Response> {
+        let h = self.histories.lock();
+        let mut tree = Element::new(Some(DAV_NS), "version-tree");
+        if let Some(history) = h.get(path) {
+            for v in history {
+                let mut ve = Element::new(Some(DAV_NS), "version");
+                let mut num = Element::new(Some(DAV_NS), "version-name");
+                num.push_text(v.number.to_string());
+                ve.push_elem(num);
+                let mut len = Element::new(Some(DAV_NS), "getcontentlength");
+                len.push_text(v.content.len().to_string());
+                ve.push_elem(len);
+                tree.push_elem(ve);
+            }
+        }
+        let xml = Writer::new().write_document(&Document::with_root(tree));
+        Ok(Response::new(StatusCode::OK).with_xml_body(xml))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memrepo::MemRepository;
+    use pse_http::Method;
+
+    #[test]
+    fn version_control_then_history_grows() {
+        let repo = MemRepository::new();
+        repo.put("/doc", b"v1", None).unwrap();
+        let store = VersionStore::new();
+        let req = Request::new(Method::VersionControl, "/doc");
+        assert_eq!(
+            store.version_control(&repo, &req).unwrap().status.code(),
+            200
+        );
+        assert!(store.is_versioned("/doc"));
+        assert_eq!(store.version_count("/doc"), 1);
+
+        // Simulate two PUTs (handler calls snapshot, repo writes).
+        store.snapshot_if_versioned(&repo, "/doc").unwrap();
+        repo.put("/doc", b"v2", None).unwrap();
+        store.record_put("/doc", b"v2");
+        store.snapshot_if_versioned(&repo, "/doc").unwrap();
+        repo.put("/doc", b"v3", None).unwrap();
+        store.record_put("/doc", b"v3");
+        assert_eq!(store.version_count("/doc"), 3);
+    }
+
+    #[test]
+    fn version_control_is_idempotent() {
+        let repo = MemRepository::new();
+        repo.put("/doc", b"x", None).unwrap();
+        let store = VersionStore::new();
+        let req = Request::new(Method::VersionControl, "/doc");
+        store.version_control(&repo, &req).unwrap();
+        store.version_control(&repo, &req).unwrap();
+        assert_eq!(store.version_count("/doc"), 1);
+    }
+
+    #[test]
+    fn collections_rejected() {
+        let repo = MemRepository::new();
+        repo.mkcol("/c").unwrap();
+        let store = VersionStore::new();
+        let req = Request::new(Method::VersionControl, "/c");
+        assert!(store.version_control(&repo, &req).is_err());
+    }
+
+    #[test]
+    fn version_tree_and_content_reports() {
+        let repo = MemRepository::new();
+        repo.put("/doc", b"first", None).unwrap();
+        let store = VersionStore::new();
+        store
+            .version_control(&repo, &Request::new(Method::VersionControl, "/doc"))
+            .unwrap();
+        store.record_put("/doc", b"second-longer");
+        repo.put("/doc", b"second-longer", None).unwrap();
+
+        let req = Request::new(Method::Report, "/doc")
+            .with_xml_body(r#"<D:version-tree xmlns:D="DAV:"/>"#);
+        let resp = store.report(&repo, &req).unwrap();
+        let text = resp.body_text();
+        assert!(text.contains("version-name"), "{text}");
+        let doc = Document::parse(&text).unwrap();
+        assert_eq!(doc.root().children_elems().count(), 2);
+
+        let req = Request::new(Method::Report, "/doc").with_xml_body(
+            r#"<D:version-content xmlns:D="DAV:"><D:version>1</D:version></D:version-content>"#,
+        );
+        let resp = store.report(&repo, &req).unwrap();
+        assert_eq!(resp.body, b"first");
+
+        // Unknown version number.
+        let req = Request::new(Method::Report, "/doc").with_xml_body(
+            r#"<D:version-content xmlns:D="DAV:"><D:version>9</D:version></D:version-content>"#,
+        );
+        assert!(store.report(&repo, &req).is_err());
+    }
+
+    #[test]
+    fn unversioned_resource_has_empty_tree() {
+        let repo = MemRepository::new();
+        repo.put("/plain", b"", None).unwrap();
+        let store = VersionStore::new();
+        let req = Request::new(Method::Report, "/plain")
+            .with_xml_body(r#"<D:version-tree xmlns:D="DAV:"/>"#);
+        let resp = store.report(&repo, &req).unwrap();
+        let doc = Document::parse(&resp.body_text()).unwrap();
+        assert_eq!(doc.root().children_elems().count(), 0);
+    }
+
+    #[test]
+    fn identical_content_not_duplicated() {
+        let repo = MemRepository::new();
+        repo.put("/doc", b"same", None).unwrap();
+        let store = VersionStore::new();
+        store
+            .version_control(&repo, &Request::new(Method::VersionControl, "/doc"))
+            .unwrap();
+        store.record_put("/doc", b"same");
+        assert_eq!(store.version_count("/doc"), 1);
+    }
+}

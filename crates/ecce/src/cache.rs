@@ -1,0 +1,307 @@
+//! The client-side cache the paper deferred.
+//!
+//! "If we do encounter areas of performance concern where a cache makes
+//! sense, it would be relatively straight forward to add a cache to the
+//! layered client architecture of Figure 2." This module is that cache:
+//! [`CachedStorage`] wraps any [`DataStorage`] and memoises document
+//! bodies and metadata reads, invalidating by path prefix on every write
+//! issued *through this handle*.
+//!
+//! Coherence scope: single-client. Writes by other clients are not
+//! observed until this handle's entries are invalidated or dropped —
+//! the same trade-off the cache-forward OODB client resolved with server
+//! generation stamps, which plain HTTP/1.1 does not push. Workloads that
+//! share data across live clients should keep the cache off (or use
+//! [`CachedStorage::invalidate_all`] at synchronisation points).
+
+use crate::dsi::DataStorage;
+use crate::error::Result;
+use std::collections::HashMap;
+
+/// Cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served locally.
+    pub hits: u64,
+    /// Reads that went to the server.
+    pub misses: u64,
+    /// Entries dropped by write invalidation.
+    pub invalidated: u64,
+}
+
+/// A read-through cache over a [`DataStorage`].
+pub struct CachedStorage<S: DataStorage> {
+    inner: S,
+    bodies: HashMap<String, Vec<u8>>,
+    meta: HashMap<(String, String), Option<String>>,
+    stats: CacheStats,
+}
+
+impl<S: DataStorage> CachedStorage<S> {
+    /// Wrap a storage.
+    pub fn new(inner: S) -> CachedStorage<S> {
+        CachedStorage {
+            inner,
+            bodies: HashMap::new(),
+            meta: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop every cached entry.
+    pub fn invalidate_all(&mut self) {
+        self.stats.invalidated += (self.bodies.len() + self.meta.len()) as u64;
+        self.bodies.clear();
+        self.meta.clear();
+    }
+
+    /// Drop entries for `path` and its subtree.
+    fn invalidate_subtree(&mut self, path: &str) {
+        let within = |p: &str| {
+            p == path
+                || (p.starts_with(path)
+                    && (path == "/" || p.as_bytes().get(path.len()) == Some(&b'/')))
+        };
+        let before = self.bodies.len() + self.meta.len();
+        self.bodies.retain(|p, _| !within(p));
+        self.meta.retain(|(p, _), _| !within(p));
+        self.stats.invalidated += (before - self.bodies.len() - self.meta.len()) as u64;
+    }
+}
+
+impl<S: DataStorage> DataStorage for CachedStorage<S> {
+    fn make_collection(&mut self, path: &str) -> Result<()> {
+        self.invalidate_subtree(path);
+        self.inner.make_collection(path)
+    }
+
+    fn write(&mut self, path: &str, data: &[u8], content_type: Option<&str>) -> Result<()> {
+        self.invalidate_subtree(path);
+        self.inner.write(path, data, content_type)
+    }
+
+    fn read(&mut self, path: &str) -> Result<Vec<u8>> {
+        if let Some(body) = self.bodies.get(path) {
+            self.stats.hits += 1;
+            return Ok(body.clone());
+        }
+        let body = self.inner.read(path)?;
+        self.stats.misses += 1;
+        self.bodies.insert(path.to_owned(), body.clone());
+        Ok(body)
+    }
+
+    fn delete(&mut self, path: &str) -> Result<()> {
+        self.invalidate_subtree(path);
+        self.inner.delete(path)
+    }
+
+    fn copy(&mut self, src: &str, dst: &str) -> Result<()> {
+        self.invalidate_subtree(dst);
+        self.inner.copy(src, dst)
+    }
+
+    fn relocate(&mut self, src: &str, dst: &str) -> Result<()> {
+        self.invalidate_subtree(src);
+        self.invalidate_subtree(dst);
+        self.inner.relocate(src, dst)
+    }
+
+    fn exists(&mut self, path: &str) -> Result<bool> {
+        if self.bodies.contains_key(path) {
+            self.stats.hits += 1;
+            return Ok(true);
+        }
+        self.inner.exists(path)
+    }
+
+    fn list(&mut self, path: &str) -> Result<Vec<String>> {
+        // Listings are not cached: they are cheap and highly volatile.
+        self.inner.list(path)
+    }
+
+    fn set_meta(&mut self, path: &str, key: &str, value: &str) -> Result<()> {
+        self.meta.remove(&(path.to_owned(), key.to_owned()));
+        self.inner.set_meta(path, key, value)
+    }
+
+    fn get_meta(&mut self, path: &str, key: &str) -> Result<Option<String>> {
+        let cache_key = (path.to_owned(), key.to_owned());
+        if let Some(v) = self.meta.get(&cache_key) {
+            self.stats.hits += 1;
+            return Ok(v.clone());
+        }
+        let v = self.inner.get_meta(path, key)?;
+        self.stats.misses += 1;
+        self.meta.insert(cache_key, v.clone());
+        Ok(v)
+    }
+
+    fn get_meta_bulk(&mut self, path: &str, keys: &[&str]) -> Result<Vec<Option<String>>> {
+        let cached: Vec<Option<Option<String>>> = keys
+            .iter()
+            .map(|k| self.meta.get(&(path.to_owned(), (*k).to_owned())).cloned())
+            .collect();
+        if cached.iter().all(Option::is_some) {
+            self.stats.hits += 1;
+            return Ok(cached.into_iter().map(Option::unwrap).collect());
+        }
+        let values = self.inner.get_meta_bulk(path, keys)?;
+        self.stats.misses += 1;
+        for (k, v) in keys.iter().zip(&values) {
+            self.meta
+                .insert((path.to_owned(), (*k).to_owned()), v.clone());
+        }
+        Ok(values)
+    }
+
+    fn remove_meta(&mut self, path: &str, key: &str) -> Result<()> {
+        self.meta.remove(&(path.to_owned(), key.to_owned()));
+        self.inner.remove_meta(path, key)
+    }
+
+    fn children_meta(
+        &mut self,
+        path: &str,
+        keys: &[&str],
+    ) -> Result<Vec<(String, Vec<Option<String>>)>> {
+        let rows = self.inner.children_meta(path, keys)?;
+        // Populate the per-path metadata cache from the bulk answer.
+        for (child, values) in &rows {
+            let child_path = pse_http::uri::join_path(path, child);
+            for (k, v) in keys.iter().zip(values) {
+                self.meta
+                    .insert((child_path.clone(), (*k).to_owned()), v.clone());
+            }
+        }
+        Ok(rows)
+    }
+
+    fn find_by_meta(&mut self, scope: &str, key: &str, value: &str) -> Result<Vec<String>> {
+        self.inner.find_by_meta(scope, key, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsi::InProcStorage;
+    use pse_dav::memrepo::MemRepository;
+    use std::sync::Arc;
+
+    fn cached() -> CachedStorage<InProcStorage<MemRepository>> {
+        CachedStorage::new(InProcStorage::new(Arc::new(MemRepository::new())))
+    }
+
+    #[test]
+    fn repeated_reads_hit() {
+        let mut s = cached();
+        s.make_collection("/c").unwrap();
+        s.write("/c/doc", b"body", None).unwrap();
+        s.set_meta("/c/doc", "k", "v").unwrap();
+        for _ in 0..5 {
+            assert_eq!(s.read("/c/doc").unwrap(), b"body");
+            assert_eq!(s.get_meta("/c/doc", "k").unwrap().as_deref(), Some("v"));
+        }
+        let st = s.stats();
+        assert_eq!(st.misses, 2);
+        assert_eq!(st.hits, 8);
+    }
+
+    #[test]
+    fn own_writes_invalidate() {
+        let mut s = cached();
+        s.write("/doc", b"v1", None).unwrap();
+        assert_eq!(s.read("/doc").unwrap(), b"v1");
+        s.write("/doc", b"v2", None).unwrap();
+        assert_eq!(s.read("/doc").unwrap(), b"v2");
+        s.set_meta("/doc", "k", "a").unwrap();
+        assert_eq!(s.get_meta("/doc", "k").unwrap().as_deref(), Some("a"));
+        s.set_meta("/doc", "k", "b").unwrap();
+        assert_eq!(s.get_meta("/doc", "k").unwrap().as_deref(), Some("b"));
+        s.remove_meta("/doc", "k").unwrap();
+        assert_eq!(s.get_meta("/doc", "k").unwrap(), None);
+    }
+
+    #[test]
+    fn subtree_invalidation_on_delete_and_move() {
+        let mut s = cached();
+        s.make_collection("/a").unwrap();
+        s.write("/a/x", b"1", None).unwrap();
+        s.read("/a/x").unwrap();
+        s.relocate("/a", "/b").unwrap();
+        assert!(!s.exists("/a/x").unwrap());
+        assert_eq!(s.read("/b/x").unwrap(), b"1");
+        s.delete("/b").unwrap();
+        assert!(!s.exists("/b/x").unwrap());
+        assert!(s.read("/b/x").is_err());
+    }
+
+    #[test]
+    fn bulk_meta_populates_per_key_cache() {
+        let mut s = cached();
+        s.write("/m", b"", None).unwrap();
+        s.set_meta("/m", "a", "1").unwrap();
+        s.set_meta("/m", "b", "2").unwrap();
+        let both = s.get_meta_bulk("/m", &["a", "b"]).unwrap();
+        assert_eq!(both[1].as_deref(), Some("2"));
+        let miss_before = s.stats().misses;
+        // Individual lookups now hit.
+        assert_eq!(s.get_meta("/m", "a").unwrap().as_deref(), Some("1"));
+        assert_eq!(s.get_meta_bulk("/m", &["a", "b"]).unwrap().len(), 2);
+        assert_eq!(s.stats().misses, miss_before);
+    }
+
+    #[test]
+    fn children_meta_warms_summaries() {
+        let mut s = cached();
+        s.make_collection("/c").unwrap();
+        for i in 0..3 {
+            let p = format!("/c/d{i}");
+            s.write(&p, b"", None).unwrap();
+            s.set_meta(&p, "state", "complete").unwrap();
+        }
+        s.children_meta("/c", &["state"]).unwrap();
+        let miss_before = s.stats().misses;
+        for i in 0..3 {
+            assert_eq!(
+                s.get_meta(&format!("/c/d{i}"), "state").unwrap().as_deref(),
+                Some("complete")
+            );
+        }
+        assert_eq!(s.stats().misses, miss_before);
+    }
+
+    #[test]
+    fn whole_store_through_cache_still_correct() {
+        // The full Ecce layer over the cached storage behaves identically.
+        use crate::factory::EcceStore;
+        let mut store =
+            crate::davstore::DavEcceStore::open(cached(), "/Ecce").unwrap();
+        let proj = store
+            .create_project(&crate::model::Project::new("p", ""))
+            .unwrap();
+        let mut calc = crate::model::Calculation::new("c");
+        calc.molecule = Some(crate::chem::water());
+        calc.input_deck = Some(crate::jobs::input_deck(&calc));
+        calc.transition(crate::model::CalcState::InputReady).unwrap();
+        let path = store.save_calculation(&proj, &calc).unwrap();
+        // Load twice: identical results, second one cheaper.
+        let a = store.load_calculation(&path).unwrap();
+        let b = store.load_calculation(&path).unwrap();
+        assert_eq!(a, b);
+        // Update through the same handle stays visible.
+        let mut changed = a;
+        changed.theory = crate::model::Theory::Mp2;
+        store.update_calculation(&path, &changed).unwrap();
+        assert_eq!(
+            store.load_calculation(&path).unwrap().theory,
+            crate::model::Theory::Mp2
+        );
+    }
+}

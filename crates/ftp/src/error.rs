@@ -1,0 +1,63 @@
+//! Error type for the FTP baseline.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An FTP transport or protocol error.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Socket failure.
+    Io(Arc<std::io::Error>),
+    /// The server replied with an unexpected code.
+    UnexpectedReply {
+        /// Code received.
+        code: u16,
+        /// Full reply line.
+        line: String,
+        /// What the client was doing.
+        context: &'static str,
+    },
+    /// A reply line did not parse.
+    Protocol(String),
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(Arc::new(e))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "ftp I/O error: {e}"),
+            Error::UnexpectedReply {
+                code,
+                line,
+                context,
+            } => write!(f, "unexpected reply {code} while {context}: {line}"),
+            Error::Protocol(m) => write!(f, "ftp protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = Error::UnexpectedReply {
+            code: 550,
+            line: "550 not found".into(),
+            context: "RETR",
+        };
+        assert!(e.to_string().contains("550"));
+        assert!(e.to_string().contains("RETR"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # pse-ftp — binary-mode FTP baseline (RFC 959 subset)
+//!
+//! Table 2 of the paper compares bulk transfer through "a standard
+//! binary-mode File Transfer Protocol (FTP) client" against HTTP PUT,
+//! concluding the two are comparable and that "network bandwidth is the
+//! primary driver for moving large amounts of data". This crate is that
+//! baseline: a passive-mode, image-type FTP server and client speaking
+//! the classic two-connection protocol (control + data).
+//!
+//! Supported verbs: USER/PASS, SYST, TYPE I, PASV, STOR, RETR, SIZE,
+//! DELE, QUIT, NOOP. Active mode (PORT) and ASCII type are deliberately
+//! out of scope — the paper's measurements used binary passive
+//! transfers.
+
+pub mod client;
+pub mod error;
+pub mod server;
+
+pub use client::FtpClient;
+pub use error::{Error, Result};
+pub use server::{FtpServer, FtpServerConfig};

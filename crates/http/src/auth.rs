@@ -1,0 +1,215 @@
+//! HTTP Basic authentication and base64, from scratch.
+//!
+//! The paper's server configuration used basic authentication; DAV
+//! "inherits the HTTP authentication, authorization, and encryption
+//! mechanisms", which is exactly the deployment-flexibility argument the
+//! paper makes. This module provides the credential encoding and a small
+//! server-side user store with realm support.
+
+use std::collections::HashMap;
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as standard base64 with padding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = u32::from(b[0]) << 16 | u32::from(b[1]) << 8 | u32::from(b[2]);
+        out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode standard base64 (padding required for the final quantum).
+/// Returns `None` on any invalid character or bad length.
+pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(4) {
+        return None;
+    }
+    let val = |c: u8| -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    };
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    let bytes = s.as_bytes();
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !std::ptr::eq(chunk, bytes.chunks(4).last().unwrap())) {
+            return None;
+        }
+        let mut n = 0u32;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                if i < chunk.len() - pad {
+                    return None;
+                }
+                0
+            } else {
+                val(c)?
+            };
+            n = n << 6 | v;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+/// A username/password pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credentials {
+    /// The user name.
+    pub username: String,
+    /// The (cleartext, test-grade) password.
+    pub password: String,
+}
+
+impl Credentials {
+    /// Build credentials.
+    pub fn new(username: &str, password: &str) -> Credentials {
+        Credentials {
+            username: username.to_owned(),
+            password: password.to_owned(),
+        }
+    }
+
+    /// Render the `Authorization: Basic ...` header value.
+    pub fn to_header_value(&self) -> String {
+        format!(
+            "Basic {}",
+            base64_encode(format!("{}:{}", self.username, self.password).as_bytes())
+        )
+    }
+
+    /// Parse an `Authorization` header value.
+    pub fn from_header_value(value: &str) -> Option<Credentials> {
+        let rest = value.trim().strip_prefix("Basic ")?;
+        let decoded = base64_decode(rest)?;
+        let text = String::from_utf8(decoded).ok()?;
+        let (user, pass) = text.split_once(':')?;
+        Some(Credentials::new(user, pass))
+    }
+}
+
+/// A server-side user database for one authentication realm.
+#[derive(Debug, Clone, Default)]
+pub struct UserStore {
+    realm: String,
+    users: HashMap<String, String>,
+}
+
+impl UserStore {
+    /// A store for the given realm name.
+    pub fn new(realm: &str) -> UserStore {
+        UserStore {
+            realm: realm.to_owned(),
+            users: HashMap::new(),
+        }
+    }
+
+    /// The realm announced in challenges.
+    pub fn realm(&self) -> &str {
+        &self.realm
+    }
+
+    /// Add (or update) a user.
+    pub fn add_user(&mut self, username: &str, password: &str) {
+        self.users.insert(username.to_owned(), password.to_owned());
+    }
+
+    /// Check an `Authorization` header value against the store. Returns
+    /// the authenticated username on success.
+    pub fn authenticate(&self, authorization: Option<&str>) -> Option<String> {
+        let creds = Credentials::from_header_value(authorization?)?;
+        (self.users.get(&creds.username)? == &creds.password).then_some(creds.username)
+    }
+
+    /// The `WWW-Authenticate` challenge header value.
+    pub fn challenge(&self) -> String {
+        format!("Basic realm=\"{}\"", self.realm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_decode_vectors() {
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Zg==").unwrap(), b"f");
+        assert_eq!(base64_decode("").unwrap(), b"");
+        assert!(base64_decode("Zg=").is_none()); // bad length
+        assert!(base64_decode("Z!==").is_none()); // bad char
+        assert!(base64_decode("=m9v").is_none()); // pad in front
+    }
+
+    #[test]
+    fn base64_roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn credentials_header_roundtrip() {
+        let c = Credentials::new("karen", "s3cret:with:colons");
+        let header = c.to_header_value();
+        assert!(header.starts_with("Basic "));
+        let back = Credentials::from_header_value(&header).unwrap();
+        assert_eq!(back.username, "karen");
+        assert_eq!(back.password, "s3cret:with:colons");
+    }
+
+    #[test]
+    fn user_store_flow() {
+        let mut store = UserStore::new("Ecce DAV");
+        store.add_user("karen", "pw");
+        assert_eq!(store.challenge(), "Basic realm=\"Ecce DAV\"");
+        let good = Credentials::new("karen", "pw").to_header_value();
+        assert_eq!(store.authenticate(Some(&good)).as_deref(), Some("karen"));
+        let bad = Credentials::new("karen", "wrong").to_header_value();
+        assert_eq!(store.authenticate(Some(&bad)), None);
+        assert_eq!(store.authenticate(None), None);
+        assert_eq!(store.authenticate(Some("Bearer tok")), None);
+    }
+}

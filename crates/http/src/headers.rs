@@ -1,0 +1,163 @@
+//! A case-insensitive, order-preserving header map.
+
+use std::fmt;
+
+/// HTTP header fields. Names compare case-insensitively (RFC 2616 §4.2);
+/// insertion order is preserved for serialisation; repeated fields are
+/// allowed (e.g. multiple `Via`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    fields: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// An empty header block.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// First value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `name`, in order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Replace all values of `name` with one value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.fields.push((name.to_owned(), value.into()));
+    }
+
+    /// Append a value without removing existing ones.
+    pub fn append(&mut self, name: &str, value: impl Into<String>) {
+        self.fields.push((name.to_owned(), value.into()));
+    }
+
+    /// Remove every value of `name`. Returns whether any was present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.fields.len();
+        self.fields.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before != self.fields.len()
+    }
+
+    /// Does `name` appear at all?
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// `Content-Length`, parsed.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length")?.trim().parse().ok()
+    }
+
+    /// Does a header contain a (comma-separated) token, case-insensitively?
+    /// Used for `Connection: close` / `Transfer-Encoding: chunked`.
+    pub fn has_token(&self, name: &str, token: &str) -> bool {
+        self.get_all(name)
+            .flat_map(|v| v.split(','))
+            .any(|t| t.trim().eq_ignore_ascii_case(token))
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// No fields at all?
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+impl fmt::Display for Headers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, v) in &self.fields {
+            writeln!(f, "{n}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<const N: usize> From<[(&str, &str); N]> for Headers {
+    fn from(pairs: [(&str, &str); N]) -> Self {
+        let mut h = Headers::new();
+        for (n, v) in pairs {
+            h.append(n, v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_access() {
+        let mut h = Headers::new();
+        h.set("Content-Type", "text/xml");
+        assert_eq!(h.get("content-type"), Some("text/xml"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/xml"));
+        assert!(h.contains("CoNtEnT-tYpE"));
+    }
+
+    #[test]
+    fn set_replaces_append_stacks() {
+        let mut h = Headers::new();
+        h.append("Via", "a");
+        h.append("via", "b");
+        assert_eq!(h.get_all("VIA").count(), 2);
+        h.set("Via", "c");
+        assert_eq!(h.get_all("via").collect::<Vec<_>>(), vec!["c"]);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        assert_eq!(h.content_length(), None);
+        h.set("Content-Length", " 42 ");
+        assert_eq!(h.content_length(), Some(42));
+        h.set("Content-Length", "nope");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn token_matching() {
+        let mut h = Headers::new();
+        h.set("Connection", "keep-alive, Close");
+        assert!(h.has_token("connection", "close"));
+        assert!(h.has_token("Connection", "KEEP-ALIVE"));
+        assert!(!h.has_token("Connection", "upgrade"));
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut h = Headers::from([("A", "1"), ("B", "2"), ("a", "3")]);
+        assert_eq!(h.len(), 3);
+        assert!(h.remove("A"));
+        assert_eq!(h.len(), 1);
+        assert!(!h.remove("A"));
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let h = Headers::from([("Host", "example.org")]);
+        assert_eq!(h.to_string(), "Host: example.org\n");
+    }
+}

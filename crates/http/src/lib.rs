@@ -1,0 +1,58 @@
+//! # pse-http — blocking HTTP/1.1 for the DAV data architecture
+//!
+//! The paper layers its whole open-data architecture on HTTP 1.1 (RFC
+//! 2616): the Apache server carries mod_dav, and the Ecce client speaks
+//! HTTP with persistent connections and basic authentication. This crate
+//! is that substrate, built from scratch on `std::net`:
+//!
+//! * [`message`] — [`Request`]/[`Response`] with builder APIs;
+//! * [`wire`] — parsing and serialisation, including chunked transfer
+//!   encoding and defensive size limits;
+//! * [`server::Server`] — a threaded TCP server with Apache-style
+//!   configuration: persistent connections with a bounded request count,
+//!   an inter-request ("keep-alive") timeout, and a minimum worker pool —
+//!   the paper's "limits of 100 connections per minute, 15 seconds
+//!   between requests, and a minimum of 5 daemons";
+//! * [`client::Client`] — a blocking client supporting both persistent
+//!   connections and per-request reconnects (the paper found reconnecting
+//!   *faster* in its environment — an anomaly the `connections` ablation
+//!   bench revisits), plus basic authentication;
+//! * [`auth`] — base64 and an HTTP Basic credential store;
+//! * [`uri`] — origin-form request targets and percent-encoding.
+//!
+//! The DAV layer (`pse-dav`) sits directly on these types; nothing here
+//! knows anything about DAV beyond allowing extension methods.
+//!
+//! ```no_run
+//! use pse_http::{client::Client, message::Request, server::{Server, ServerConfig}};
+//! use pse_http::message::Response;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default(), |req: Request| {
+//!     Response::ok().with_body(format!("you asked for {}", req.target.path()))
+//! }).unwrap();
+//! let addr = server.local_addr();
+//! let mut client = Client::connect(addr).unwrap();
+//! let resp = client.get("/hello").unwrap();
+//! assert_eq!(resp.status.code(), 200);
+//! server.shutdown();
+//! ```
+
+pub mod auth;
+pub mod client;
+pub mod error;
+pub mod headers;
+pub mod message;
+pub mod method;
+pub mod server;
+pub mod status;
+pub mod uri;
+pub mod wire;
+
+pub use client::Client;
+pub use error::{Error, Result};
+pub use headers::Headers;
+pub use message::{Request, Response};
+pub use method::Method;
+pub use server::{Server, ServerConfig};
+pub use status::StatusCode;
+pub use uri::Target;

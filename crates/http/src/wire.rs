@@ -1,0 +1,421 @@
+//! Wire-format parsing and serialisation for HTTP/1.1 messages.
+//!
+//! Handles request/status lines, header blocks (with size limits),
+//! `Content-Length` and `Transfer-Encoding: chunked` bodies, and the
+//! keep-alive decision. The size limits exist for the reason the paper
+//! gives: unbounded XML request bodies are an easy denial-of-service
+//! vector, so "the maximum should be set as low as possible for a given
+//! application".
+
+use crate::error::{Error, Result};
+use crate::headers::Headers;
+use crate::message::{Request, Response};
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::uri::Target;
+use std::io::{BufRead, Write};
+
+/// Parsing limits. The defaults are generous enough for the paper's
+/// 100 MB-metadata robustness test while still bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of a single header line.
+    pub max_header_line: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum entity-body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_line: 16 * 1024,
+            max_headers: 128,
+            max_body: 512 * 1024 * 1024,
+        }
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, without the terminator.
+fn read_line(r: &mut impl BufRead, max: usize) -> Result<String> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8];
+        let n = std::io::Read::read(r, &mut byte)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(Error::ConnectionClosed);
+            }
+            break;
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.len() > max {
+            return Err(Error::TooLarge {
+                what: "header line",
+                limit: max,
+            });
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| Error::Parse("non-UTF-8 header data".into()))
+}
+
+/// Read a header block (terminated by an empty line).
+fn read_headers(r: &mut impl BufRead, limits: &Limits) -> Result<Headers> {
+    let mut headers = Headers::new();
+    loop {
+        let line = read_line(r, limits.max_header_line)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(Error::TooLarge {
+                what: "header count",
+                limit: limits.max_headers,
+            });
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| Error::Parse(format!("malformed header line `{line}`")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(Error::Parse(format!("malformed header name `{name}`")));
+        }
+        headers.append(name, value.trim());
+    }
+}
+
+/// Read a message body according to the framing headers.
+fn read_body(r: &mut impl BufRead, headers: &Headers, limits: &Limits) -> Result<Vec<u8>> {
+    if headers.has_token("Transfer-Encoding", "chunked") {
+        return read_chunked(r, limits);
+    }
+    let len = headers.content_length().unwrap_or(0);
+    if len > limits.max_body {
+        return Err(Error::TooLarge {
+            what: "entity body",
+            limit: limits.max_body,
+        });
+    }
+    let mut body = vec![0u8; len];
+    std::io::Read::read_exact(r, &mut body)?;
+    Ok(body)
+}
+
+/// Decode a chunked body (chunk extensions ignored, trailers skipped).
+fn read_chunked(r: &mut impl BufRead, limits: &Limits) -> Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let line = read_line(r, limits.max_header_line)?;
+        let size_part = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_part, 16)
+            .map_err(|_| Error::Parse(format!("bad chunk size `{size_part}`")))?;
+        if body.len() + size > limits.max_body {
+            return Err(Error::TooLarge {
+                what: "chunked body",
+                limit: limits.max_body,
+            });
+        }
+        if size == 0 {
+            // Trailers until blank line.
+            loop {
+                if read_line(r, limits.max_header_line)?.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        std::io::Read::read_exact(r, &mut body[start..])?;
+        let crlf = read_line(r, 4)?;
+        if !crlf.is_empty() {
+            return Err(Error::Parse("missing CRLF after chunk".into()));
+        }
+    }
+}
+
+/// Encode a body as chunked transfer coding with the given chunk size.
+pub fn encode_chunked(body: &[u8], chunk_size: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 64);
+    for chunk in body.chunks(chunk_size.max(1)) {
+        out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        out.extend_from_slice(chunk);
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"0\r\n\r\n");
+    out
+}
+
+/// Read a complete request. Returns `Ok(None)` when the connection was
+/// closed cleanly between requests (normal keep-alive termination).
+pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>> {
+    let line = match read_line(r, limits.max_header_line) {
+        Ok(l) => l,
+        Err(Error::ConnectionClosed) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(Error::Parse(format!("malformed request line `{line}`"))),
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(Error::UnsupportedVersion(version.to_owned()));
+    }
+    let method: Method = method.parse().expect("infallible");
+    let headers = read_headers(r, limits)?;
+    let body = read_body(r, &headers, limits)?;
+    Ok(Some(Request {
+        method,
+        target: Target::parse(target),
+        headers,
+        body,
+    }))
+}
+
+/// Read a complete response to a request made with `method`.
+pub fn read_response(r: &mut impl BufRead, method: &Method, limits: &Limits) -> Result<Response> {
+    let line = read_line(r, limits.max_header_line)?;
+    let mut parts = line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(Error::Parse(format!("malformed status line `{line}`")));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| Error::Parse(format!("bad status code in `{line}`")))?;
+    let headers = read_headers(r, limits)?;
+    let status = StatusCode::new(code);
+    let body = if !method.response_has_body() || code == 204 || code == 304 || (100..200).contains(&code) {
+        Vec::new()
+    } else {
+        read_body(r, &headers, limits)?
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Serialise a request. A `Content-Length` header is always emitted so
+/// framing is unambiguous.
+pub fn write_request(w: &mut impl Write, req: &Request, host: &str) -> Result<()> {
+    write!(w, "{} {} HTTP/1.1\r\n", req.method, req.target.encoded())?;
+    if !req.headers.contains("Host") {
+        write!(w, "Host: {host}\r\n")?;
+    }
+    for (n, v) in req.headers.iter() {
+        if n.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        write!(w, "{n}: {v}\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", req.body.len())?;
+    w.write_all(&req.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serialise a response. `head_only` suppresses the body (HEAD requests)
+/// while keeping the Content-Length of the full representation.
+pub fn write_response(w: &mut impl Write, resp: &Response, head_only: bool) -> Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\n",
+        resp.status.code(),
+        resp.status.reason()
+    )?;
+    for (n, v) in resp.headers.iter() {
+        if n.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        write!(w, "{n}: {v}\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", resp.body.len())?;
+    if !head_only {
+        w.write_all(&resp.body)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Should the connection stay open after this exchange?
+pub fn keep_alive(headers: &Headers) -> bool {
+    !headers.has_token("Connection", "close")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn cursor(s: &[u8]) -> BufReader<&[u8]> {
+        BufReader::new(s)
+    }
+
+    #[test]
+    fn parse_simple_request() {
+        let raw = b"PROPFIND /a%20b HTTP/1.1\r\nHost: x\r\nDepth: 0\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut cursor(raw), &Limits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::PropFind);
+        assert_eq!(req.target.path(), "/a b");
+        assert_eq!(req.headers.get("depth"), Some("0"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        assert!(read_request(&mut cursor(b""), &Limits::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        let raw = b"PUT / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(
+            read_request(&mut cursor(raw), &Limits::default()),
+            Err(Error::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn bad_request_line_errors() {
+        assert!(read_request(&mut cursor(b"GARBAGE\r\n\r\n"), &Limits::default()).is_err());
+        assert!(matches!(
+            read_request(&mut cursor(b"GET / HTTP/2\r\n\r\n"), &Limits::default()),
+            Err(Error::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn body_limit_enforced() {
+        let limits = Limits {
+            max_body: 4,
+            ..Limits::default()
+        };
+        let raw = b"PUT / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(matches!(
+            read_request(&mut cursor(raw), &limits),
+            Err(Error::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn header_limits_enforced() {
+        let limits = Limits {
+            max_headers: 2,
+            ..Limits::default()
+        };
+        let raw = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut cursor(raw), &limits),
+            Err(Error::TooLarge { .. })
+        ));
+        let limits = Limits {
+            max_header_line: 8,
+            ..Limits::default()
+        };
+        let raw = b"GET / HTTP/1.1\r\nLongHeaderName: value\r\n\r\n";
+        assert!(read_request(&mut cursor(raw), &limits).is_err());
+    }
+
+    #[test]
+    fn request_write_read_roundtrip() {
+        let req = Request::new(Method::Put, "/data/molecule.xyz")
+            .with_header("Content-Type", "chemical/x-xyz")
+            .with_body("3\nwater\nO 0 0 0");
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req, "localhost").unwrap();
+        let back = read_request(&mut cursor(&wire), &Limits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.method, Method::Put);
+        assert_eq!(back.target.path(), "/data/molecule.xyz");
+        assert_eq!(back.headers.get("host"), Some("localhost"));
+        assert_eq!(back.body, req.body);
+    }
+
+    #[test]
+    fn response_write_read_roundtrip() {
+        let resp = Response::new(StatusCode::MULTI_STATUS).with_xml_body("<D:multistatus/>");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, false).unwrap();
+        let back = read_response(&mut cursor(&wire), &Method::PropFind, &Limits::default()).unwrap();
+        assert_eq!(back.status, StatusCode::MULTI_STATUS);
+        assert_eq!(back.body, resp.body);
+    }
+
+    #[test]
+    fn head_has_no_body() {
+        let resp = Response::ok().with_body("content");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, true).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("Content-Length: 7"));
+        assert!(!text.ends_with("content"));
+        let back = read_response(&mut cursor(&wire), &Method::Head, &Limits::default()).unwrap();
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn chunked_roundtrip() {
+        let body: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        let encoded = encode_chunked(&body, 1500); // the paper's packet-size mirror
+        let mut raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        raw.extend_from_slice(&encoded);
+        let back = read_response(&mut cursor(&raw), &Method::Get, &Limits::default()).unwrap();
+        assert_eq!(back.body, body);
+    }
+
+    #[test]
+    fn chunked_empty_body() {
+        let encoded = encode_chunked(b"", 1500);
+        assert_eq!(encoded, b"0\r\n\r\n");
+        let mut raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        raw.extend_from_slice(&encoded);
+        let back = read_response(&mut cursor(&raw), &Method::Get, &Limits::default()).unwrap();
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn chunked_bad_size_errors() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nZZ\r\nhello\r\n0\r\n\r\n";
+        assert!(read_response(&mut cursor(raw), &Method::Get, &Limits::default()).is_err());
+    }
+
+    #[test]
+    fn no_content_has_no_body_even_with_junk() {
+        let raw = b"HTTP/1.1 204 No Content\r\n\r\n";
+        let back = read_response(&mut cursor(raw), &Method::Delete, &Limits::default()).unwrap();
+        assert_eq!(back.status, StatusCode::NO_CONTENT);
+    }
+
+    #[test]
+    fn keep_alive_decision() {
+        let mut h = Headers::new();
+        assert!(keep_alive(&h));
+        h.set("Connection", "close");
+        assert!(!keep_alive(&h));
+        h.set("Connection", "Keep-Alive");
+        assert!(keep_alive(&h));
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let raw = b"GET / HTTP/1.1\nHost: x\n\n";
+        let req = read_request(&mut cursor(raw), &Limits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.headers.get("host"), Some("x"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the object database.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An OODB storage or schema error.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Filesystem failure.
+    Io(Arc<std::io::Error>),
+    /// No object with the requested OID.
+    NoSuchObject(u64),
+    /// The class is not in the schema.
+    NoSuchClass(String),
+    /// A field is not declared on the class, or has the wrong type.
+    FieldMismatch {
+        /// Class involved.
+        class: String,
+        /// Offending field.
+        field: String,
+        /// What went wrong.
+        problem: String,
+    },
+    /// Stored data was written under a different schema version — the
+    /// tight coupling the paper complains about. An explicit `migrate`
+    /// is required before the database is readable again.
+    SchemaVersionMismatch {
+        /// Version the data was written with.
+        stored: u32,
+        /// Version the application is compiled against.
+        current: u32,
+    },
+    /// The file content is not a valid database.
+    Corrupt(String),
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(Arc::new(e))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "oodb I/O error: {e}"),
+            Error::NoSuchObject(oid) => write!(f, "no object with oid {oid}"),
+            Error::NoSuchClass(c) => write!(f, "class `{c}` is not in the schema"),
+            Error::FieldMismatch {
+                class,
+                field,
+                problem,
+            } => write!(f, "field `{class}.{field}`: {problem}"),
+            Error::SchemaVersionMismatch { stored, current } => write!(
+                f,
+                "data written under schema v{stored} but application compiled against v{current}; run migrate()"
+            ),
+            Error::Corrupt(m) => write!(f, "database corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(Error::NoSuchObject(7).to_string().contains('7'));
+        let e = Error::SchemaVersionMismatch {
+            stored: 1,
+            current: 2,
+        };
+        assert!(e.to_string().contains("migrate"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # pse-oodb — the baseline object-oriented database (Ecce 1.5)
+//!
+//! The paper's Ecce 1.5 persisted its chemistry data model through a
+//! commercial OODBMS with a **cache-forward architecture**. This crate
+//! rebuilds that baseline so Table 3 (Ecce 1.5 vs 2.0) and the §3.2.4
+//! migration study have a real comparator, and so the architectural
+//! criticisms the paper makes are observable in code:
+//!
+//! * **proprietary binary format** ([`encode`]) — compact (binary
+//!   doubles) but opaque: nothing but this crate can read it;
+//! * **tight schema coupling** ([`schema`]) — every stored object is
+//!   stamped with the schema version; reading an object written under a
+//!   different version fails until an explicit whole-database
+//!   [`store::OodbStore::migrate`] runs (the "painful … schema/application
+//!   compilation cycles");
+//! * **hidden segment overhead** ([`segment`]) — storage is allocated in
+//!   segments with a preallocated index region ("our OODBMS also creates
+//!   its own overhead, using hidden segments to optimize performance");
+//! * **cache-forward client** ([`cache`]) — a client-side object cache
+//!   fed from the server, whose benefit the paper found marginal for
+//!   typical Ecce workflows.
+//!
+//! ```
+//! use pse_oodb::{schema::{FieldType, SchemaBuilder}, store::OodbStore, value::FieldValue};
+//! let dir = std::env::temp_dir().join(format!("pse-oodb-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let schema = SchemaBuilder::new()
+//!     .class("Molecule", &[("formula", FieldType::Text), ("natoms", FieldType::Int)])
+//!     .build();
+//! let mut db = OodbStore::create_db(&dir, schema).unwrap();
+//! let oid = db.create("Molecule", vec![
+//!     ("formula".into(), FieldValue::Text("H2O".into())),
+//!     ("natoms".into(), FieldValue::Int(3)),
+//! ]).unwrap();
+//! assert_eq!(db.fetch(oid).unwrap().get("formula").unwrap().as_text().unwrap(), "H2O");
+//! # drop(db); std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod api;
+pub mod cache;
+pub mod encode;
+pub mod error;
+pub mod net;
+pub mod query;
+pub mod schema;
+pub mod segment;
+pub mod store;
+pub mod value;
+
+pub use api::ObjectApi;
+pub use cache::CacheForwardClient;
+pub use error::{Error, Result};
+pub use net::{OodbServer, RemoteOodb};
+pub use schema::{FieldType, Schema, SchemaBuilder};
+pub use store::{OodbStore, StoredObject};
+pub use value::{FieldValue, Oid};

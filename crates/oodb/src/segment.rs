@@ -1,0 +1,272 @@
+//! Storage segments with hidden overhead.
+//!
+//! The commercial OODBMS under Ecce 1.5 "creates its own overhead, using
+//! hidden segments to optimize performance" (§3.2.4). We model storage
+//! as fixed-size segment files, each carrying a preallocated hidden
+//! index region; objects are appended into a segment's data region and a
+//! new segment is started when the current one fills. The overhead is
+//! therefore visible in `disk_usage` exactly the way the paper's
+//! migration study measured it.
+
+use crate::error::{Error, Result};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Usable data bytes per segment.
+pub const SEGMENT_DATA: u64 = 256 * 1024;
+/// Hidden per-segment index/bookkeeping region, preallocated.
+pub const SEGMENT_HIDDEN: u64 = 16 * 1024;
+/// Full on-disk size of one segment file.
+pub const SEGMENT_SIZE: u64 = SEGMENT_HIDDEN + SEGMENT_DATA;
+
+/// A location inside the segment set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Segment number.
+    pub segment: u32,
+    /// Byte offset within the segment's data region.
+    pub offset: u32,
+    /// Record length.
+    pub len: u32,
+}
+
+/// An append-oriented set of segment files in one directory.
+pub struct SegmentSet {
+    dir: PathBuf,
+    /// Current append segment and its fill level.
+    current: u32,
+    fill: u64,
+}
+
+impl SegmentSet {
+    /// Open the segment set in `dir`, scanning existing segments to find
+    /// the append point recorded in each segment's hidden header.
+    pub fn open(dir: impl AsRef<Path>) -> Result<SegmentSet> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut max_seg: Option<u32> = None;
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if let Some(num) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".dat"))
+                .and_then(|s| s.parse::<u32>().ok())
+            {
+                max_seg = Some(max_seg.map_or(num, |m| m.max(num)));
+            }
+        }
+        let mut set = SegmentSet {
+            dir,
+            current: 0,
+            fill: 0,
+        };
+        match max_seg {
+            None => set.start_segment(0)?,
+            Some(n) => {
+                set.current = n;
+                set.fill = set.read_fill(n)?;
+            }
+        }
+        Ok(set)
+    }
+
+    fn seg_path(&self, n: u32) -> PathBuf {
+        self.dir.join(format!("seg-{n:06}.dat"))
+    }
+
+    fn start_segment(&mut self, n: u32) -> Result<()> {
+        let f = File::create(self.seg_path(n))?;
+        // Preallocate the full segment including the hidden region —
+        // this is the overhead the migration study observes.
+        f.set_len(SEGMENT_SIZE)?;
+        self.current = n;
+        self.fill = 0;
+        self.write_fill(n, 0)?;
+        Ok(())
+    }
+
+    fn read_fill(&self, n: u32) -> Result<u64> {
+        let mut f = File::open(self.seg_path(n))?;
+        let mut buf = [0u8; 8];
+        f.read_exact(&mut buf)?;
+        let fill = u64::from_le_bytes(buf);
+        if fill > SEGMENT_DATA {
+            return Err(Error::Corrupt(format!("segment {n} fill {fill} too large")));
+        }
+        Ok(fill)
+    }
+
+    fn write_fill(&self, n: u32, fill: u64) -> Result<()> {
+        let mut f = OpenOptions::new().write(true).open(self.seg_path(n))?;
+        f.write_all(&fill.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Append a record, returning where it landed. Records larger than a
+    /// segment's data region get a dedicated oversized segment chain —
+    /// simplified here to an error (Ecce objects are small; bulk data
+    /// lived outside the OODB as the paper explains).
+    pub fn append(&mut self, record: &[u8]) -> Result<Location> {
+        if record.len() as u64 > SEGMENT_DATA {
+            return Err(Error::Corrupt(format!(
+                "record of {} bytes exceeds segment capacity — bulk data belongs outside the OODB",
+                record.len()
+            )));
+        }
+        if self.fill + record.len() as u64 > SEGMENT_DATA {
+            let next = self.current + 1;
+            self.start_segment(next)?;
+        }
+        let loc = Location {
+            segment: self.current,
+            offset: self.fill as u32,
+            len: record.len() as u32,
+        };
+        let mut f = OpenOptions::new()
+            .write(true)
+            .open(self.seg_path(self.current))?;
+        f.seek(SeekFrom::Start(SEGMENT_HIDDEN + self.fill))?;
+        f.write_all(record)?;
+        self.fill += record.len() as u64;
+        self.write_fill(self.current, self.fill)?;
+        Ok(loc)
+    }
+
+    /// Read a record back.
+    pub fn read(&self, loc: Location) -> Result<Vec<u8>> {
+        let mut f = File::open(self.seg_path(loc.segment))?;
+        f.seek(SeekFrom::Start(SEGMENT_HIDDEN + loc.offset as u64))?;
+        let mut buf = vec![0u8; loc.len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Number of segment files.
+    pub fn segment_count(&self) -> u32 {
+        self.current + 1
+    }
+
+    /// Bytes on disk across all segments, as `du` reports (allocated
+    /// blocks — preallocated tails are sparse).
+    pub fn disk_usage(&self) -> Result<u64> {
+        let mut total = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let meta = entry?.metadata()?;
+            #[cfg(unix)]
+            {
+                use std::os::unix::fs::MetadataExt;
+                total += meta.blocks() * 512;
+            }
+            #[cfg(not(unix))]
+            {
+                total += meta.len();
+            }
+        }
+        Ok(total)
+    }
+
+    /// Remove all segments (used by compaction/migration).
+    pub fn clear(&mut self) -> Result<()> {
+        for n in 0..=self.current {
+            let p = self.seg_path(n);
+            if p.exists() {
+                fs::remove_file(p)?;
+            }
+        }
+        self.start_segment(0)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static N: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch() -> PathBuf {
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("pse-seg-{n}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let d = scratch();
+        let mut s = SegmentSet::open(&d).unwrap();
+        let a = s.append(b"hello").unwrap();
+        let b = s.append(b"world!").unwrap();
+        assert_eq!(s.read(a).unwrap(), b"hello");
+        assert_eq!(s.read(b).unwrap(), b"world!");
+        assert_eq!(b.offset, 5);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn hidden_overhead_is_visible() {
+        let d = scratch();
+        let mut s = SegmentSet::open(&d).unwrap();
+        s.append(b"tiny").unwrap();
+        // One 4-byte record still costs a whole segment file; with
+        // sparse (du-style) accounting the cost is the allocated blocks,
+        // bounded by the full preallocated size.
+        let du = s.disk_usage().unwrap();
+        assert!(du > 0 && du <= SEGMENT_SIZE, "{du}");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn rolls_to_new_segment_when_full() {
+        let d = scratch();
+        let mut s = SegmentSet::open(&d).unwrap();
+        let chunk = vec![7u8; 100_000];
+        for _ in 0..3 {
+            s.append(&chunk).unwrap(); // 300 KB > 256 KB data region
+        }
+        assert_eq!(s.segment_count(), 2);
+        let du = s.disk_usage().unwrap();
+        assert!((300_000..=2 * SEGMENT_SIZE).contains(&du), "{du}");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let d = scratch();
+        let mut s = SegmentSet::open(&d).unwrap();
+        let huge = vec![0u8; (SEGMENT_DATA + 1) as usize];
+        assert!(s.append(&huge).is_err());
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn reopen_resumes_append_point() {
+        let d = scratch();
+        let loc1;
+        {
+            let mut s = SegmentSet::open(&d).unwrap();
+            loc1 = s.append(b"first").unwrap();
+        }
+        let mut s = SegmentSet::open(&d).unwrap();
+        let loc2 = s.append(b"second").unwrap();
+        assert_eq!(loc2.offset, 5);
+        assert_eq!(s.read(loc1).unwrap(), b"first");
+        assert_eq!(s.read(loc2).unwrap(), b"second");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn clear_resets() {
+        let d = scratch();
+        let mut s = SegmentSet::open(&d).unwrap();
+        let big = vec![1u8; 200_000];
+        s.append(&big).unwrap();
+        s.append(&big).unwrap();
+        s.clear().unwrap();
+        assert_eq!(s.segment_count(), 1);
+        assert!(s.disk_usage().unwrap() <= SEGMENT_SIZE);
+        fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -1,0 +1,259 @@
+//! Qualified names and namespace scope resolution.
+//!
+//! DAV properties are identified by `(namespace URI, local name)` pairs —
+//! the paper's Ecce schema, for instance, lives in a single `ecce:`
+//! namespace while protocol elements live in `DAV:`. This module provides
+//! the [`QName`] type used by both the pull parser and the DOM, plus the
+//! [`NsScope`] stack that maps prefixes to URIs while walking a document.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A qualified name as written in the document: optional prefix + local part.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    /// The prefix before `:`, if any (`D` in `D:prop`).
+    pub prefix: Option<String>,
+    /// The local part (`prop` in `D:prop`).
+    pub local: String,
+}
+
+impl QName {
+    /// Construct from prefix and local part. Both must be valid NCNames.
+    pub fn new(prefix: Option<&str>, local: &str) -> Result<Self> {
+        if let Some(p) = prefix {
+            if !is_ncname(p) {
+                return Err(Error::InvalidName { name: p.into() });
+            }
+        }
+        if !is_ncname(local) {
+            return Err(Error::InvalidName { name: local.into() });
+        }
+        Ok(QName {
+            prefix: prefix.map(str::to_owned),
+            local: local.to_owned(),
+        })
+    }
+
+    /// Construct an unprefixed name without validation (for trusted
+    /// compile-time literals).
+    pub fn local(local: &str) -> Self {
+        QName {
+            prefix: None,
+            local: local.to_owned(),
+        }
+    }
+
+    /// Parse a raw `prefix:local` or `local` token.
+    pub fn parse(raw: &str) -> Result<Self> {
+        match raw.split_once(':') {
+            Some((p, l)) => QName::new(Some(p), l),
+            None => QName::new(None, raw),
+        }
+    }
+
+    /// Render back to the `prefix:local` form.
+    pub fn as_written(&self) -> String {
+        match &self.prefix {
+            Some(p) => format!("{p}:{}", self.local),
+            None => self.local.clone(),
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = &self.prefix {
+            write!(f, "{p}:")?;
+        }
+        f.write_str(&self.local)
+    }
+}
+
+/// Is `s` a valid XML `NCName` (a name with no colon)?
+///
+/// We use the pragmatic name character classes: ASCII letters, digits,
+/// `_`, `-`, `.`, and any non-ASCII character. Digits, `-`, and `.` may
+/// not start a name.
+pub fn is_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || !c.is_ascii() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') || !c.is_ascii())
+}
+
+/// A stack of namespace declarations tracking the in-scope prefix → URI
+/// mapping while descending a document.
+///
+/// `push_scope` on element entry, record any `xmlns`/`xmlns:p` attributes
+/// with [`NsScope::declare`], resolve names with [`NsScope::resolve`], and
+/// `pop_scope` on element exit.
+#[derive(Debug, Default, Clone)]
+pub struct NsScope {
+    // (depth, prefix ("" = default ns), uri). Linear scan from the back —
+    // scopes are shallow in practice (DAV documents nest < 10 deep).
+    decls: Vec<(u32, String, String)>,
+    depth: u32,
+}
+
+impl NsScope {
+    /// Fresh scope with no declarations and the conventional `xml` prefix.
+    pub fn new() -> Self {
+        NsScope {
+            decls: vec![(
+                0,
+                "xml".to_owned(),
+                "http://www.w3.org/XML/1998/namespace".to_owned(),
+            )],
+            depth: 0,
+        }
+    }
+
+    /// Enter an element.
+    pub fn push_scope(&mut self) {
+        self.depth += 1;
+    }
+
+    /// Leave an element, dropping declarations made on it.
+    pub fn pop_scope(&mut self) {
+        while matches!(self.decls.last(), Some((d, _, _)) if *d == self.depth) {
+            self.decls.pop();
+        }
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Record `xmlns="uri"` (prefix `""`) or `xmlns:p="uri"` at the
+    /// current depth.
+    pub fn declare(&mut self, prefix: &str, uri: &str) {
+        self.decls
+            .push((self.depth, prefix.to_owned(), uri.to_owned()));
+    }
+
+    /// Resolve a prefix to its in-scope URI. The empty prefix resolves to
+    /// the default namespace, or `None` when no default is declared (or it
+    /// was undeclared with `xmlns=""`).
+    pub fn lookup(&self, prefix: &str) -> Option<&str> {
+        self.decls
+            .iter()
+            .rev()
+            .find(|(_, p, _)| p == prefix)
+            .map(|(_, _, uri)| uri.as_str())
+            .filter(|uri| !uri.is_empty())
+    }
+
+    /// Resolve a [`QName`] to `(namespace URI, local)` per the Namespaces
+    /// in XML rules: prefixed names must have a binding (error otherwise);
+    /// unprefixed **element** names take the default namespace;
+    /// unprefixed **attribute** names are in no namespace.
+    pub fn resolve(&self, name: &QName, is_attribute: bool) -> Result<Option<String>> {
+        match &name.prefix {
+            Some(p) => self
+                .lookup(p)
+                .map(|uri| Some(uri.to_owned()))
+                .ok_or(Error::UnboundPrefix { prefix: p.clone() }),
+            None if is_attribute => Ok(None),
+            None => Ok(self.lookup("").map(str::to_owned)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ncname_validation() {
+        assert!(is_ncname("prop"));
+        assert!(is_ncname("_x"));
+        assert!(is_ncname("a-b.c_d1"));
+        assert!(is_ncname("\u{00E9}l\u{00E9}ment"));
+        assert!(!is_ncname(""));
+        assert!(!is_ncname("1abc"));
+        assert!(!is_ncname("-abc"));
+        assert!(!is_ncname("a b"));
+        assert!(!is_ncname("a:b"));
+        assert!(!is_ncname("a<b"));
+    }
+
+    #[test]
+    fn qname_parse_forms() {
+        let q = QName::parse("D:prop").unwrap();
+        assert_eq!(q.prefix.as_deref(), Some("D"));
+        assert_eq!(q.local, "prop");
+        assert_eq!(q.as_written(), "D:prop");
+        assert_eq!(q.to_string(), "D:prop");
+
+        let q = QName::parse("href").unwrap();
+        assert_eq!(q.prefix, None);
+        assert_eq!(q.as_written(), "href");
+
+        assert!(QName::parse("a:b:c").is_err());
+        assert!(QName::parse(":x").is_err());
+        assert!(QName::parse("x:").is_err());
+    }
+
+    #[test]
+    fn scope_nesting_and_shadowing() {
+        let mut ns = NsScope::new();
+        ns.push_scope();
+        ns.declare("D", "DAV:");
+        ns.declare("", "urn:default");
+        assert_eq!(ns.lookup("D"), Some("DAV:"));
+        assert_eq!(ns.lookup(""), Some("urn:default"));
+
+        ns.push_scope();
+        ns.declare("D", "urn:shadow");
+        assert_eq!(ns.lookup("D"), Some("urn:shadow"));
+        ns.pop_scope();
+        assert_eq!(ns.lookup("D"), Some("DAV:"));
+
+        ns.pop_scope();
+        assert_eq!(ns.lookup("D"), None);
+    }
+
+    #[test]
+    fn default_ns_undeclaration() {
+        let mut ns = NsScope::new();
+        ns.push_scope();
+        ns.declare("", "urn:a");
+        ns.push_scope();
+        ns.declare("", ""); // xmlns="" removes the default namespace
+        assert_eq!(ns.lookup(""), None);
+        ns.pop_scope();
+        assert_eq!(ns.lookup(""), Some("urn:a"));
+    }
+
+    #[test]
+    fn resolution_rules() {
+        let mut ns = NsScope::new();
+        ns.push_scope();
+        ns.declare("", "urn:def");
+        ns.declare("D", "DAV:");
+
+        let elem = QName::parse("x").unwrap();
+        assert_eq!(ns.resolve(&elem, false).unwrap().as_deref(), Some("urn:def"));
+        // Unprefixed attributes never take the default namespace.
+        assert_eq!(ns.resolve(&elem, true).unwrap(), None);
+
+        let pfx = QName::parse("D:prop").unwrap();
+        assert_eq!(ns.resolve(&pfx, false).unwrap().as_deref(), Some("DAV:"));
+        assert_eq!(ns.resolve(&pfx, true).unwrap().as_deref(), Some("DAV:"));
+
+        let bad = QName::parse("E:prop").unwrap();
+        assert!(matches!(
+            ns.resolve(&bad, false),
+            Err(Error::UnboundPrefix { .. })
+        ));
+    }
+
+    #[test]
+    fn xml_prefix_is_predeclared() {
+        let ns = NsScope::new();
+        assert_eq!(
+            ns.lookup("xml"),
+            Some("http://www.w3.org/XML/1998/namespace")
+        );
+    }
+}

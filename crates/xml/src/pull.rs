@@ -1,0 +1,588 @@
+//! Streaming (SAX-style) pull parser.
+//!
+//! [`Reader`] walks the input once and yields [`Event`]s on demand. Unlike
+//! the DOM it never materialises the document, so memory use is bounded by
+//! element depth — this is the "SAX-style parser" the paper proposes for
+//! removing the client-side bottleneck observed in Table 1.
+//!
+//! The reader enforces the well-formedness constraints that matter for
+//! protocol work: balanced tags, unique attributes, a single root element,
+//! and valid names. DTD internal subsets are skipped, not processed.
+
+use crate::error::{Error, Result};
+use crate::escape::unescape;
+use crate::name::QName;
+
+/// An attribute as it appeared on a start tag, with its value unescaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written (`xmlns:D`, `D:foo`, `href`, ...).
+    pub name: QName,
+    /// Unescaped attribute value.
+    pub value: String,
+}
+
+/// A parse event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" ...>` or the open half of `<name/>`.
+    StartElement {
+        /// Element name as written.
+        name: QName,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>`, also synthesised after a self-closing start tag.
+    EndElement {
+        /// Element name as written.
+        name: QName,
+    },
+    /// Character data with entities expanded. Whitespace-only runs between
+    /// markup are reported too; callers decide whether they care.
+    Text(String),
+    /// A `<![CDATA[...]]>` section, verbatim.
+    CData(String),
+    /// A `<!--...-->` comment, verbatim.
+    Comment(String),
+    /// A processing instruction; the XML declaration surfaces as a PI with
+    /// target `xml`.
+    Pi {
+        /// The PI target (first token).
+        target: String,
+        /// Everything after the target, trimmed.
+        data: String,
+    },
+    /// End of the document. Returned forever after.
+    Eof,
+}
+
+/// A pull parser over a complete in-memory document.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Open-element stack for tag balancing.
+    stack: Vec<QName>,
+    /// End event pending after a self-closing tag.
+    pending_end: Option<QName>,
+    /// Whether a root element has been completely read.
+    root_seen: bool,
+    done: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over `src`. Parsing is lazy; errors surface from
+    /// [`Reader::next_event`].
+    pub fn new(src: &'a str) -> Self {
+        Reader {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            stack: Vec::new(),
+            pending_end: None,
+            root_seen: false,
+            done: false,
+        }
+    }
+
+    /// Current 1-based (line, column) of the read head.
+    pub fn position(&self) -> (u32, u32) {
+        (self.line, self.col)
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pull the next event.
+    pub fn next_event(&mut self) -> Result<Event> {
+        if let Some(name) = self.pending_end.take() {
+            self.leave(&name)?;
+            return Ok(Event::EndElement { name });
+        }
+        if self.done {
+            return Ok(Event::Eof);
+        }
+        if self.rest().is_empty() {
+            return self.finish();
+        }
+        if self.rest().starts_with('<') {
+            self.markup()
+        } else {
+            self.text()
+        }
+    }
+
+    fn finish(&mut self) -> Result<Event> {
+        if let Some(open) = self.stack.last() {
+            return Err(Error::UnexpectedEof {
+                context: leak_context(open),
+            });
+        }
+        if !self.root_seen {
+            return Err(Error::BadRootCount { count: 0 });
+        }
+        self.done = true;
+        Ok(Event::Eof)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::syntax(self.line, self.col, msg)
+    }
+
+    /// Advance over `n` bytes, maintaining line/col.
+    fn advance(&mut self, n: usize) {
+        for c in self.src[self.pos..self.pos + n].chars() {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.pos += n;
+    }
+
+    fn eat(&mut self, lit: &str, context: &'static str) -> Result<()> {
+        if self.rest().starts_with(lit) {
+            self.advance(lit.len());
+            Ok(())
+        } else if self.rest().is_empty() {
+            Err(Error::UnexpectedEof { context })
+        } else {
+            Err(self.err(format!("expected `{lit}` while reading {context}")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let n = self
+            .rest()
+            .find(|c: char| !c.is_ascii_whitespace())
+            .unwrap_or(self.rest().len());
+        self.advance(n);
+    }
+
+    /// Read up to (not including) `delim`; error with `context` at EOF.
+    fn read_until(&mut self, delim: &str, context: &'static str) -> Result<&'a str> {
+        match self.rest().find(delim) {
+            Some(i) => {
+                let s = &self.rest()[..i];
+                self.advance(i);
+                Ok(s)
+            }
+            None => Err(Error::UnexpectedEof { context }),
+        }
+    }
+
+    /// Character data between markup.
+    fn text(&mut self) -> Result<Event> {
+        let end = self.rest().find('<').unwrap_or(self.rest().len());
+        let raw = &self.rest()[..end];
+        if raw.contains("]]>") {
+            return Err(self.err("`]]>` is not allowed in character data"));
+        }
+        let text = unescape(raw)?.into_owned();
+        self.advance(end);
+        if self.stack.is_empty() && !text.trim().is_empty() {
+            return Err(self.err("character data outside the root element"));
+        }
+        Ok(Event::Text(text))
+    }
+
+    /// Anything starting with `<`.
+    fn markup(&mut self) -> Result<Event> {
+        let r = self.rest();
+        if r.starts_with("<!--") {
+            self.advance(4);
+            let body = self.read_until("-->", "a comment")?.to_owned();
+            if body.contains("--") {
+                return Err(self.err("`--` is not allowed inside a comment"));
+            }
+            self.advance(3);
+            return Ok(Event::Comment(body));
+        }
+        if r.starts_with("<![CDATA[") {
+            self.advance(9);
+            let body = self.read_until("]]>", "a CDATA section")?.to_owned();
+            self.advance(3);
+            if self.stack.is_empty() {
+                return Err(self.err("CDATA outside the root element"));
+            }
+            return Ok(Event::CData(body));
+        }
+        if r.starts_with("<!DOCTYPE") || r.starts_with("<!doctype") {
+            self.skip_doctype()?;
+            // DOCTYPE carries no information we use; report it as a PI so
+            // callers that count events still see something.
+            return Ok(Event::Pi {
+                target: "DOCTYPE".to_owned(),
+                data: String::new(),
+            });
+        }
+        if r.starts_with("<?") {
+            return self.pi();
+        }
+        if r.starts_with("</") {
+            return self.end_tag();
+        }
+        self.start_tag()
+    }
+
+    fn skip_doctype(&mut self) -> Result<()> {
+        // Skip to the matching `>`, allowing one [...] internal subset.
+        self.advance(2); // `<!`
+        let mut bracket = 0i32;
+        loop {
+            let r = self.rest();
+            let Some(c) = r.chars().next() else {
+                return Err(Error::UnexpectedEof {
+                    context: "a DOCTYPE declaration",
+                });
+            };
+            match c {
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                '>' if bracket <= 0 => {
+                    self.advance(1);
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.advance(c.len_utf8());
+        }
+    }
+
+    fn pi(&mut self) -> Result<Event> {
+        self.advance(2); // `<?`
+        let body = self.read_until("?>", "a processing instruction")?;
+        let body = body.to_owned();
+        self.advance(2);
+        let (target, data) = match body.split_once(|c: char| c.is_ascii_whitespace()) {
+            Some((t, d)) => (t.to_owned(), d.trim().to_owned()),
+            None => (body, String::new()),
+        };
+        if target.is_empty() {
+            return Err(self.err("processing instruction with empty target"));
+        }
+        Ok(Event::Pi { target, data })
+    }
+
+    fn end_tag(&mut self) -> Result<Event> {
+        let line = self.line;
+        self.advance(2); // `</`
+        let name = self.name_token()?;
+        self.skip_ws();
+        self.eat(">", "an end tag")?;
+        let _ = line;
+        self.leave(&name)?;
+        Ok(Event::EndElement { name })
+    }
+
+    fn leave(&mut self, name: &QName) -> Result<()> {
+        match self.stack.pop() {
+            Some(open) if open == *name => {
+                if self.stack.is_empty() {
+                    self.root_seen = true;
+                }
+                Ok(())
+            }
+            Some(open) => Err(Error::MismatchedTag {
+                expected: open.as_written(),
+                found: name.as_written(),
+                line: self.line,
+            }),
+            None => Err(Error::MismatchedTag {
+                expected: "(nothing open)".to_owned(),
+                found: name.as_written(),
+                line: self.line,
+            }),
+        }
+    }
+
+    fn start_tag(&mut self) -> Result<Event> {
+        let line = self.line;
+        self.advance(1); // `<`
+        let name = self.name_token()?;
+        if self.stack.is_empty() && self.root_seen {
+            return Err(Error::BadRootCount { count: 2 });
+        }
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            let had_ws = self
+                .rest()
+                .starts_with(|c: char| c.is_ascii_whitespace());
+            self.skip_ws();
+            let r = self.rest();
+            if r.starts_with("/>") {
+                self.advance(2);
+                self.stack.push(name.clone());
+                self.pending_end = Some(name.clone());
+                return Ok(Event::StartElement { name, attributes });
+            }
+            if r.starts_with('>') {
+                self.advance(1);
+                self.stack.push(name.clone());
+                return Ok(Event::StartElement { name, attributes });
+            }
+            if r.is_empty() {
+                return Err(Error::UnexpectedEof {
+                    context: "a start tag",
+                });
+            }
+            if !had_ws {
+                return Err(self.err("expected whitespace before attribute"));
+            }
+            let attr = self.attribute(line)?;
+            if attributes.iter().any(|a| a.name == attr.name) {
+                return Err(Error::DuplicateAttribute {
+                    name: attr.name.as_written(),
+                    line,
+                });
+            }
+            attributes.push(attr);
+        }
+    }
+
+    fn attribute(&mut self, elem_line: u32) -> Result<Attribute> {
+        let _ = elem_line;
+        let name = self.name_token()?;
+        self.skip_ws();
+        self.eat("=", "an attribute")?;
+        self.skip_ws();
+        let quote = match self.rest().chars().next() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(_) => return Err(self.err("attribute value must be quoted")),
+            None => {
+                return Err(Error::UnexpectedEof {
+                    context: "an attribute value",
+                })
+            }
+        };
+        self.advance(1);
+        let raw = self.read_until(
+            if quote == '"' { "\"" } else { "'" },
+            "an attribute value",
+        )?;
+        if raw.contains('<') {
+            return Err(self.err("`<` is not allowed in attribute values"));
+        }
+        let value = unescape(raw)?.into_owned();
+        self.advance(1); // closing quote
+        Ok(Attribute { name, value })
+    }
+
+    /// Read a (possibly prefixed) name token at the head.
+    fn name_token(&mut self) -> Result<QName> {
+        let r = self.rest();
+        let end = r
+            .find(|c: char| c.is_ascii_whitespace() || matches!(c, '>' | '/' | '=' | '<'))
+            .unwrap_or(r.len());
+        let raw = &r[..end];
+        if raw.is_empty() {
+            return Err(self.err("expected a name"));
+        }
+        let q = QName::parse(raw)?;
+        self.advance(end);
+        Ok(q)
+    }
+}
+
+/// Iterator adapter: yields events until `Eof` or the first error.
+impl Iterator for Reader<'_> {
+    type Item = Result<Event>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Event::Eof) => None,
+            other => Some(other),
+        }
+    }
+}
+
+fn leak_context(name: &QName) -> &'static str {
+    // The error type wants a &'static str context; the open element name is
+    // more useful but dynamic. Use a fixed message — the name is recoverable
+    // from the document anyway.
+    let _ = name;
+    "an element that was never closed"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Result<Vec<Event>> {
+        Reader::new(src).collect()
+    }
+
+    #[test]
+    fn minimal_document() {
+        let ev = events("<a/>").unwrap();
+        assert_eq!(
+            ev,
+            vec![
+                Event::StartElement {
+                    name: QName::local("a"),
+                    attributes: vec![]
+                },
+                Event::EndElement {
+                    name: QName::local("a")
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_with_text() {
+        let ev = events("<a><b>hi &amp; bye</b></a>").unwrap();
+        assert_eq!(ev.len(), 5);
+        assert_eq!(ev[2], Event::Text("hi & bye".into()));
+    }
+
+    #[test]
+    fn attributes_parse_and_unescape() {
+        let ev = events(r#"<a x="1" y='two &lt;3' xmlns:D="DAV:"/>"#).unwrap();
+        let Event::StartElement { attributes, .. } = &ev[0] else {
+            panic!("expected start");
+        };
+        assert_eq!(attributes.len(), 3);
+        assert_eq!(attributes[1].value, "two <3");
+        assert_eq!(attributes[2].name.as_written(), "xmlns:D");
+    }
+
+    #[test]
+    fn declaration_and_pi() {
+        let ev = events("<?xml version=\"1.0\"?><a><?target some data?></a>").unwrap();
+        assert_eq!(
+            ev[0],
+            Event::Pi {
+                target: "xml".into(),
+                data: "version=\"1.0\"".into()
+            }
+        );
+        assert_eq!(
+            ev[2],
+            Event::Pi {
+                target: "target".into(),
+                data: "some data".into()
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_cdata() {
+        let ev = events("<a><!-- note --><![CDATA[raw <stuff> &amp;]]></a>").unwrap();
+        assert_eq!(ev[1], Event::Comment(" note ".into()));
+        assert_eq!(ev[2], Event::CData("raw <stuff> &amp;".into()));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let ev = events("<!DOCTYPE html [ <!ENTITY x \"y\"> ]><a/>").unwrap();
+        assert!(matches!(&ev[0], Event::Pi { target, .. } if target == "DOCTYPE"));
+        assert_eq!(ev.len(), 3);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(matches!(
+            events("<a><b></a></b>"),
+            Err(Error::MismatchedTag { .. })
+        ));
+        assert!(matches!(
+            events("</a>"),
+            Err(Error::MismatchedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_constructs_error() {
+        assert!(matches!(events("<a>"), Err(Error::UnexpectedEof { .. })));
+        assert!(matches!(events("<a"), Err(Error::UnexpectedEof { .. })));
+        assert!(matches!(
+            events("<a><!-- x</a>"),
+            Err(Error::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            events("<a x=\"1></a>"),
+            Err(Error::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(matches!(
+            events(r#"<a x="1" x="2"/>"#),
+            Err(Error::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn two_roots_rejected() {
+        assert!(matches!(events("<a/><b/>"), Err(Error::BadRootCount { count: 2 })));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(matches!(events(""), Err(Error::BadRootCount { count: 0 })));
+        assert!(matches!(
+            events("<?xml version=\"1.0\"?> "),
+            Err(Error::BadRootCount { count: 0 })
+        ));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(events("<a/>junk").is_err());
+        assert!(events("junk<a/>").is_err());
+        // Whitespace around the root is fine.
+        assert!(events("  <a/>\n").is_ok());
+    }
+
+    #[test]
+    fn cdata_end_in_text_rejected() {
+        assert!(events("<a>]]></a>").is_err());
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        assert!(events("<a x=\"<\"/>").is_err());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut r = Reader::new("<a>\n  <b/>\n</a>");
+        r.next_event().unwrap(); // <a>
+        r.next_event().unwrap(); // text
+        assert_eq!(r.position().0, 2);
+        assert_eq!(r.depth(), 1);
+    }
+
+    #[test]
+    fn unquoted_attribute_rejected() {
+        assert!(events("<a x=1/>").is_err());
+    }
+
+    #[test]
+    fn self_closing_emits_both_events_at_depth() {
+        let mut r = Reader::new("<a><b/></a>");
+        assert!(matches!(r.next_event().unwrap(), Event::StartElement { .. }));
+        assert!(matches!(r.next_event().unwrap(), Event::StartElement { .. }));
+        assert_eq!(r.depth(), 2);
+        assert!(matches!(r.next_event().unwrap(), Event::EndElement { .. }));
+        assert_eq!(r.depth(), 1);
+    }
+
+    #[test]
+    fn comment_with_double_dash_rejected() {
+        assert!(events("<a><!-- a -- b --></a>").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! The §3.2.4 two-stage migration: an Ecce 1.5 OODB database plus raw
+//! files on "local disk" become a DAV repository, with per-calculation
+//! verification.
+//!
+//! ```text
+//! cargo run --example migration
+//! ```
+
+use davpse::dav::client::DavClient;
+use davpse::dav::fsrepo::{FsConfig, FsRepository};
+use davpse::dav::handler::DavHandler;
+use davpse::dav::server::serve;
+use davpse::ecce::davstore::DavEcceStore;
+use davpse::ecce::dsi::DavStorage;
+use davpse::ecce::factory::EcceStore;
+use davpse::ecce::migrate::{self, PopulateConfig};
+use davpse::ecce::oodbstore::OodbEcceStore;
+use pse_http::server::ServerConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let work = std::env::temp_dir().join(format!("davpse-migration-{}", std::process::id()));
+    std::fs::create_dir_all(&work)?;
+
+    // The legacy system: an OODB database plus raw job files on local
+    // disk (the OODB "only contained directory path references to the
+    // raw data").
+    println!("populating the Ecce 1.5 OODB source ...");
+    let mut source = OodbEcceStore::create(work.join("oodb"))?;
+    let raw_dir = work.join("local-disk");
+    migrate::populate_oodb(
+        &mut source,
+        &PopulateConfig {
+            projects: 2,
+            calcs_per_project: 3,
+            output_scale: 0.1,
+            raw_dir: Some(raw_dir.clone()),
+        },
+    )?;
+    println!(
+        "source: {} objects, {} on disk",
+        source.db().len(),
+        source.disk_usage()? / 1024
+    );
+
+    // The new system: a real DAV server over TCP, filesystem+GDBM.
+    let fs_server = serve(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        DavHandler::new(FsRepository::create(work.join("dav"), FsConfig::default())?),
+    )?;
+    let mut target = DavEcceStore::open(
+        DavStorage::new(DavClient::connect(fs_server.local_addr())?),
+        "/Ecce",
+    )?;
+
+    println!("running the two-stage migration ...");
+    let report = migrate::migrate(&mut source, &mut target)?;
+    println!(
+        "migrated {} calculations ({} OODB objects), moved {} raw files ({} KB)",
+        report.calculations,
+        report.objects,
+        report.raw_files,
+        report.raw_bytes / 1024
+    );
+
+    let mismatches = migrate::verify(&mut source, &mut target)?;
+    if mismatches.is_empty() {
+        println!("verification: every calculation matches ✓");
+    } else {
+        println!("verification FAILED: {mismatches:?}");
+    }
+    fs_server.shutdown();
+    std::fs::remove_dir_all(&work)?;
+    Ok(())
+}

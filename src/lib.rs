@@ -1,0 +1,24 @@
+//! # davpse — Open Data Management for Problem Solving Environments
+//!
+//! Facade crate re-exporting the whole stack built for the HPDC 2001
+//! Ecce/WebDAV reproduction. See the individual crates for detail:
+//!
+//! * [`xml`] — XML 1.0 substrate (pull parser, DOM, writer, namespaces)
+//! * [`dbm`] — SDBM/GDBM-style metadata stores
+//! * [`http`] — HTTP/1.1 server and client
+//! * [`dav`] — WebDAV protocol: mod_dav-style server and client library
+//! * [`oodb`] — the baseline object database (Ecce 1.5 architecture)
+//! * [`ftp`] — binary-mode FTP baseline for bulk transfer
+//! * [`ecce`] — the PSE layer: calculation model, schema mapping,
+//!   factories, tools, agents, and the OODB→DAV migration
+//!
+//! The root-level `examples/` and `tests/` directories exercise this
+//! facade exactly the way a downstream PSE would.
+
+pub use pse_dav as dav;
+pub use pse_dbm as dbm;
+pub use pse_ecce as ecce;
+pub use pse_ftp as ftp;
+pub use pse_http as http;
+pub use pse_oodb as oodb;
+pub use pse_xml as xml;
