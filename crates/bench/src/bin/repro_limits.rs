@@ -38,6 +38,7 @@ fn main() {
         FsConfig {
             dbm_kind: DbmKind::Gdbm,
             max_property_size: 512 * 1024 * 1024,
+            ..FsConfig::default()
         },
     )
     .unwrap();

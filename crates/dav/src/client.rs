@@ -13,11 +13,13 @@ use crate::error::{DavError, Result};
 use crate::lock::LockScope;
 use crate::multistatus::Multistatus;
 use crate::property::{Property, PropertyName, DAV_NS};
+use pse_cache::{CacheConfig, CacheStats, ShardedCache};
 use pse_http::client::ConnectionPolicy;
 use pse_http::{Client, Method, Request, Response, StatusCode};
 use pse_xml::dom::{Document, Element};
 use pse_xml::writer::Writer;
 use std::net::ToSocketAddrs;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How multistatus bodies are parsed.
@@ -31,10 +33,33 @@ pub enum ParseMode {
     Sax,
 }
 
+/// A GET body remembered alongside the validator it arrived with.
+struct CachedBody {
+    etag: String,
+    body: Vec<u8>,
+}
+
+/// A parsed PROPFIND result remembered alongside the server's
+/// multistatus state etag.
+struct CachedMultistatus {
+    etag: String,
+    ms: Multistatus,
+}
+
+/// The client-side validating cache. Entries are *never* served
+/// without a round trip: every use sends a conditional request and the
+/// cached value is returned only on 304, so a stale cache can cost an
+/// extra revalidation but can never produce stale data.
+struct ClientCache {
+    bodies: ShardedCache<String, Arc<CachedBody>>,
+    multistatus: ShardedCache<String, Arc<CachedMultistatus>>,
+}
+
 /// A blocking DAV client bound to one server.
 pub struct DavClient {
     http: Client,
     parse_mode: ParseMode,
+    cache: Option<ClientCache>,
 }
 
 impl DavClient {
@@ -43,12 +68,61 @@ impl DavClient {
         Ok(DavClient {
             http: Client::connect(addr)?,
             parse_mode: ParseMode::default(),
+            cache: None,
         })
     }
 
     /// Select DOM or SAX multistatus parsing.
     pub fn set_parse_mode(&mut self, mode: ParseMode) {
         self.parse_mode = mode;
+    }
+
+    /// Opt in to the validating cache: GET bodies and parsed PROPFIND
+    /// results are kept and revalidated with `If-None-Match`; a 304
+    /// answers from the cache without re-transferring (or re-parsing)
+    /// the entity. Off by default.
+    pub fn enable_cache(&mut self, config: CacheConfig) {
+        self.cache = Some(ClientCache {
+            bodies: ShardedCache::new(config.clone()),
+            multistatus: ShardedCache::new(config),
+        });
+    }
+
+    /// Drop the validating cache and return to plain requests.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Combined counters of both cache halves (bodies + multistatus).
+    /// Zeros when the cache is disabled.
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.cache {
+            None => CacheStats::default(),
+            Some(c) => {
+                let (a, b) = (c.bodies.stats(), c.multistatus.stats());
+                CacheStats {
+                    hits: a.hits + b.hits,
+                    misses: a.misses + b.misses,
+                    insertions: a.insertions + b.insertions,
+                    evictions: a.evictions + b.evictions,
+                    invalidations: a.invalidations + b.invalidations,
+                    expirations: a.expirations + b.expirations,
+                }
+            }
+        }
+    }
+
+    /// Flush cached entries for `path` (and its subtree) after a local
+    /// mutation. Purely an optimisation — revalidation would catch the
+    /// change anyway — but it avoids pointless conditional round trips.
+    fn invalidate_cached(&self, path: &str) {
+        let Some(c) = &self.cache else { return };
+        c.bodies.remove(&path.to_owned());
+        let prefix = format!("{}/", path.trim_end_matches('/'));
+        c.bodies.invalidate_matching(|k| k.starts_with(&prefix));
+        // Multistatus keys are `path \0 depth \0 body`; any cached view
+        // rooted at an ancestor may include this resource, so drop all.
+        c.multistatus.invalidate_all();
     }
 
     /// Attach basic-auth credentials.
@@ -93,10 +167,38 @@ impl DavClient {
         Ok(resp.headers.get("DAV").unwrap_or("").to_owned())
     }
 
-    /// GET a document body.
+    /// GET a document body. With the cache enabled, a remembered body
+    /// is revalidated with `If-None-Match` and reused on 304.
     pub fn get(&mut self, path: &str) -> Result<Vec<u8>> {
-        let resp = self.http.get(path)?;
-        Ok(self.expect(resp, &[200], "GET")?.body)
+        let cached = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.bodies.get(&path.to_owned()));
+        let mut req = Request::new(Method::Get, path);
+        if let Some(c) = &cached {
+            req = req.with_header("If-None-Match", &c.etag);
+        }
+        let resp = self.http.send(req)?;
+        if resp.status.code() == StatusCode::NOT_MODIFIED.code() {
+            if let Some(c) = cached {
+                return Ok(c.body.clone());
+            }
+        }
+        let resp = self.expect(resp, &[200], "GET")?;
+        if let Some(cache) = &self.cache {
+            if let Some(etag) = resp.headers.get("ETag") {
+                let cost = path.len() + etag.len() + resp.body.len() + 64;
+                cache.bodies.insert(
+                    path.to_owned(),
+                    Arc::new(CachedBody {
+                        etag: etag.to_owned(),
+                        body: resp.body.clone(),
+                    }),
+                    cost,
+                );
+            }
+        }
+        Ok(resp.body)
     }
 
     /// PUT a document; returns `true` when created (201) vs updated (204).
@@ -111,6 +213,7 @@ impl DavClient {
             req = req.with_header("Content-Type", ct);
         }
         let resp = self.http.send(req)?;
+        self.invalidate_cached(path);
         Ok(self.expect(resp, &[201, 204], "PUT")?.status.code() == 201)
     }
 
@@ -125,6 +228,7 @@ impl DavClient {
             .with_header("If", format!("(<{token}>)"))
             .with_body(body);
         let resp = self.http.send(req)?;
+        self.invalidate_cached(path);
         Ok(self.expect(resp, &[201, 204], "PUT")?.status.code() == 201)
     }
 
@@ -138,6 +242,7 @@ impl DavClient {
     /// DELETE a resource.
     pub fn delete(&mut self, path: &str) -> Result<()> {
         let resp = self.http.send(Request::new(Method::Delete, path))?;
+        self.invalidate_cached(path);
         self.expect(resp, &[204, 200], "DELETE")?;
         Ok(())
     }
@@ -148,6 +253,7 @@ impl DavClient {
             .with_header("Destination", dst)
             .with_header("Overwrite", if overwrite { "T" } else { "F" });
         let resp = self.http.send(req)?;
+        self.invalidate_cached(dst);
         Ok(self.expect(resp, &[201, 204], "COPY")?.status.code() == 201)
     }
 
@@ -157,6 +263,8 @@ impl DavClient {
             .with_header("Destination", dst)
             .with_header("Overwrite", if overwrite { "T" } else { "F" });
         let resp = self.http.send(req)?;
+        self.invalidate_cached(src);
+        self.invalidate_cached(dst);
         Ok(self.expect(resp, &[201, 204], "MOVE")?.status.code() == 201)
     }
 
@@ -218,12 +326,47 @@ impl DavClient {
     }
 
     fn propfind_inner(&mut self, path: &str, depth: Depth, body: String) -> Result<Multistatus> {
-        let req = Request::new(Method::PropFind, path)
+        // Cache key covers everything that shapes the multistatus:
+        // root, depth, and the request body (which carries the asked-for
+        // property set).
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| format!("{path}\u{0}{}\u{0}{body}", depth.as_str()));
+        let cached = match (&self.cache, &key) {
+            (Some(c), Some(k)) => c.multistatus.get(k),
+            _ => None,
+        };
+        let mut req = Request::new(Method::PropFind, path)
             .with_header("Depth", depth.as_str())
             .with_xml_body(body);
+        if let Some(c) = &cached {
+            req = req.with_header("If-None-Match", &c.etag);
+        }
         let resp = self.http.send(req)?;
+        if resp.status.code() == StatusCode::NOT_MODIFIED.code() {
+            if let Some(c) = cached {
+                // The server vouched the tree is unchanged: skip the
+                // XML transfer *and* the parse.
+                return Ok(c.ms.clone());
+            }
+        }
         let resp = self.expect(resp, &[207], "PROPFIND")?;
-        self.parse_multistatus(&resp)
+        let ms = self.parse_multistatus(&resp)?;
+        if let (Some(cache), Some(k)) = (&self.cache, key) {
+            if let Some(etag) = resp.headers.get("ETag") {
+                let cost = k.len() + etag.len() + resp.body.len() + 64;
+                cache.multistatus.insert(
+                    k,
+                    Arc::new(CachedMultistatus {
+                        etag: etag.to_owned(),
+                        ms: ms.clone(),
+                    }),
+                    cost,
+                );
+            }
+        }
+        Ok(ms)
     }
 
     /// Read one property's text value (depth 0), `None` when undefined.
@@ -265,6 +408,7 @@ impl DavClient {
         let body = Writer::new().write_document(&Document::with_root(root));
         let req = Request::new(Method::PropPatch, path).with_xml_body(body);
         let resp = self.http.send(req)?;
+        self.invalidate_cached(path);
         let resp = self.expect(resp, &[207], "PROPPATCH")?;
         let ms = self.parse_multistatus(&resp)?;
         // Surface per-property failures as an error for convenience.

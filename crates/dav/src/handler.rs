@@ -8,7 +8,7 @@
 
 use crate::depth::Depth;
 use crate::error::{DavError, Result};
-use crate::ifheader::IfHeader;
+use crate::ifheader::{Condition, IfHeader};
 use crate::lock::{LockManager, LockScope};
 use crate::multistatus::{Multistatus, PropStat};
 use crate::order;
@@ -123,13 +123,19 @@ impl<R: Repository> DavHandler<R> {
                 .with_header("Content-Type", "text/html")
                 .with_body(if head { Vec::new() } else { html.into_bytes() }));
         }
+        let etag = meta.etag();
+        if not_modified(req, &etag, Some(meta.modified)) {
+            return Ok(Response::new(StatusCode::NOT_MODIFIED)
+                .with_header("ETag", etag)
+                .with_header("Last-Modified", crate::repo::format_http_date(meta.modified)));
+        }
         let body = self.repo.get(path)?;
         let mut resp = Response::ok()
             .with_header(
                 "Content-Type",
                 meta.content_type.as_deref().unwrap_or("application/octet-stream"),
             )
-            .with_header("ETag", meta.etag())
+            .with_header("ETag", etag)
             .with_header("Last-Modified", crate::repo::format_http_date(meta.modified));
         if !head {
             resp = resp.with_body(body);
@@ -139,11 +145,57 @@ impl<R: Repository> DavHandler<R> {
 
     fn check_lock(&self, req: &Request, path: &str) -> Result<()> {
         let ifh = IfHeader::parse(req.headers.get("If"));
+        self.check_if_etags(&ifh, path)?;
         self.locks.check_write(path, &ifh.tokens)
+    }
+
+    /// Enforce the `[...]` entity-tag conditions of an `If` header
+    /// (RFC 2518 §9.4): every claimed tag must match the target's
+    /// current etag, else the request fails with 412.
+    fn check_if_etags(&self, ifh: &IfHeader, path: &str) -> Result<()> {
+        let mut current: Option<String> = None;
+        for cond in &ifh.conditions {
+            let Condition::ETag(claimed) = cond else {
+                continue;
+            };
+            let etag = current.get_or_insert_with(|| {
+                self.repo
+                    .meta(path)
+                    .map(|m| m.etag())
+                    .unwrap_or_default()
+            });
+            // The parser strips the surrounding quotes from `["..."]`.
+            if claimed.trim_start_matches("W/") != etag.trim_matches('"') {
+                return Err(DavError::PreconditionFailed(format!(
+                    "If header entity tag \"{claimed}\" does not match {etag}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn put(&self, req: &Request) -> Result<Response> {
         let path = req.target.path();
+        // Conditional PUT (RFC 2616 §14.24/.26): If-Match must name the
+        // stored entity; If-None-Match (typically `*`) must not.
+        let current_etag = self.repo.meta(path).ok().map(|m| m.etag());
+        if let Some(im) = req.headers.get("If-Match") {
+            let ok = current_etag
+                .as_deref()
+                .is_some_and(|etag| etag_list_matches(im, etag));
+            if !ok {
+                return Err(DavError::PreconditionFailed(
+                    "If-Match: stored entity tag differs".into(),
+                ));
+            }
+        }
+        if let (Some(inm), Some(etag)) = (req.headers.get("If-None-Match"), &current_etag) {
+            if etag_list_matches(inm, etag) {
+                return Err(DavError::PreconditionFailed(
+                    "If-None-Match: the resource already exists".into(),
+                ));
+            }
+        }
         self.check_lock(req, path)?;
         let created = self
             .repo
@@ -160,6 +212,7 @@ impl<R: Repository> DavHandler<R> {
     fn delete(&self, req: &Request) -> Result<Response> {
         let path = req.target.path();
         let ifh = IfHeader::parse(req.headers.get("If"));
+        self.check_if_etags(&ifh, path)?;
         self.locks.check_write_recursive(path, &ifh.tokens)?;
         self.repo.delete(path)?;
         self.locks.forget_subtree(path);
@@ -199,6 +252,7 @@ impl<R: Repository> DavHandler<R> {
         }
         let overwrite = !matches!(req.headers.get("Overwrite").map(str::trim), Some("F"));
         let ifh = IfHeader::parse(req.headers.get("If"));
+        self.check_if_etags(&ifh, &src)?;
         self.locks.check_write_recursive(&dst, &ifh.tokens)?;
         if is_move {
             self.locks.check_write_recursive(&src, &ifh.tokens)?;
@@ -356,11 +410,60 @@ impl<R: Repository> DavHandler<R> {
         let mut paths = Vec::new();
         self.repo
             .walk(path, max_depth, &mut |p| paths.push(p.to_owned()))?;
+        // A validator over the whole multistatus: any member's etag,
+        // the member set, the requested properties, or lock state moving
+        // changes it. Lets clients revalidate cached PROPFIND results
+        // with If-None-Match instead of re-fetching the XML.
+        let state_etag = self.propfind_state_etag(&paths, &kind, depth)?;
+        if let Some(inm) = req.headers.get("If-None-Match") {
+            if etag_list_matches(inm, &state_etag) {
+                return Ok(
+                    Response::new(StatusCode::NOT_MODIFIED).with_header("ETag", state_etag)
+                );
+            }
+        }
         for p in paths {
             let propstats = self.propstats_for(&p, &kind)?;
             ms.push_propstats(&p, propstats);
         }
-        Ok(Response::new(StatusCode::MULTI_STATUS).with_xml_body(ms.to_xml()))
+        Ok(Response::new(StatusCode::MULTI_STATUS)
+            .with_header("ETag", state_etag)
+            .with_xml_body(ms.to_xml()))
+    }
+
+    /// Hash the walked members' (path, etag) pairs plus the request
+    /// shape and lock tokens into a single entity tag for the 207 body.
+    fn propfind_state_etag(
+        &self,
+        paths: &[String],
+        kind: &PropfindKind,
+        depth: Depth,
+    ) -> Result<String> {
+        let mut state = Vec::new();
+        for p in paths {
+            let meta = self.repo.meta(p)?;
+            state.extend_from_slice(p.as_bytes());
+            state.push(0);
+            state.extend_from_slice(meta.etag().as_bytes());
+            state.push(0);
+            for lock in self.locks.locks_on(p) {
+                state.extend_from_slice(lock.token.as_bytes());
+                state.push(0);
+            }
+        }
+        state.extend_from_slice(depth.as_str().as_bytes());
+        state.push(0);
+        match kind {
+            PropfindKind::AllProp => state.extend_from_slice(b"allprop"),
+            PropfindKind::PropName => state.extend_from_slice(b"propname"),
+            PropfindKind::Named(names) => {
+                for n in names {
+                    state.extend_from_slice(n.to_string().as_bytes());
+                    state.push(0);
+                }
+            }
+        }
+        Ok(format!("\"ms-{:x}\"", pse_cache::fnv1a_64(&state)))
     }
 
     // ---- PROPPATCH ----
@@ -551,6 +654,36 @@ impl<R: Repository> DavHandler<R> {
         self.locks.unlock(path, &token)?;
         Ok(Response::no_content())
     }
+}
+
+/// Does a comma-separated `If-Match`/`If-None-Match` list name `etag`?
+/// `*` matches anything; `W/` prefixes are stripped (weak comparison —
+/// our etags are weak validators already, as mod_dav's were).
+fn etag_list_matches(header: &str, etag: &str) -> bool {
+    header.split(',').any(|t| {
+        let t = t.trim();
+        t == "*" || t.trim_start_matches("W/") == etag
+    })
+}
+
+/// Should a GET/HEAD answer 304? `If-None-Match` wins when present;
+/// `If-Modified-Since` is compared at second granularity because HTTP
+/// dates carry no sub-second precision (RFC 2616 §14.25).
+fn not_modified(req: &Request, etag: &str, modified: Option<std::time::SystemTime>) -> bool {
+    if let Some(inm) = req.headers.get("If-None-Match") {
+        return etag_list_matches(inm, etag);
+    }
+    if let (Some(ims), Some(modified)) = (req.headers.get("If-Modified-Since"), modified) {
+        if let Some(since) = crate::repo::parse_http_date(ims) {
+            let secs = |t: std::time::SystemTime| {
+                t.duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0)
+            };
+            return secs(modified) <= secs(since);
+        }
+    }
+    false
 }
 
 /// Build the `DAV:activelock` element for a lock.
@@ -901,6 +1034,153 @@ mod tests {
         assert!(text.contains("activelock"), "{text}");
         assert!(text.contains("shared"), "{text}");
         assert!(text.contains("eric"), "{text}");
+    }
+
+    #[test]
+    fn conditional_get_revalidates_with_304() {
+        let h = handler();
+        h.handle(req(Method::Put, "/doc").with_body("body"));
+        let resp = h.handle(req(Method::Get, "/doc"));
+        let etag = resp.headers.get("etag").unwrap().to_owned();
+        let lm = resp.headers.get("last-modified").unwrap().to_owned();
+
+        // Matching If-None-Match → 304 carrying the validators, no body.
+        let resp = h.handle(req(Method::Get, "/doc").with_header("If-None-Match", &etag));
+        assert_eq!(resp.status.code(), 304);
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.headers.get("etag"), Some(etag.as_str()));
+        // `*` and a list containing the etag also match.
+        assert_eq!(
+            h.handle(req(Method::Get, "/doc").with_header("If-None-Match", "*")).status.code(),
+            304
+        );
+        let list = format!("\"zz\", {etag}");
+        assert_eq!(
+            h.handle(req(Method::Get, "/doc").with_header("If-None-Match", list)).status.code(),
+            304
+        );
+        // A stale etag re-fetches.
+        let resp = h.handle(req(Method::Get, "/doc").with_header("If-None-Match", "\"stale\""));
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(resp.body_text(), "body");
+
+        // If-Modified-Since at the reported Last-Modified → 304; HEAD too.
+        assert_eq!(
+            h.handle(req(Method::Get, "/doc").with_header("If-Modified-Since", &lm)).status.code(),
+            304
+        );
+        assert_eq!(
+            h.handle(req(Method::Head, "/doc").with_header("If-Modified-Since", &lm)).status.code(),
+            304
+        );
+        // An unparseable date is ignored.
+        assert_eq!(
+            h.handle(req(Method::Get, "/doc").with_header("If-Modified-Since", "garbage"))
+                .status
+                .code(),
+            200
+        );
+        // An If-Modified-Since before the change re-fetches.
+        assert_eq!(
+            h.handle(
+                req(Method::Get, "/doc")
+                    .with_header("If-Modified-Since", "Thu, 01 Jan 1970 00:00:00 GMT")
+            )
+            .status
+            .code(),
+            200
+        );
+    }
+
+    #[test]
+    fn conditional_put_enforces_preconditions() {
+        let h = handler();
+        // If-None-Match: * on a fresh name → create; repeated → 412.
+        let resp = h.handle(
+            req(Method::Put, "/new").with_header("If-None-Match", "*").with_body("v1"),
+        );
+        assert_eq!(resp.status.code(), 201);
+        let resp = h.handle(
+            req(Method::Put, "/new").with_header("If-None-Match", "*").with_body("v2"),
+        );
+        assert_eq!(resp.status.code(), 412);
+        assert_eq!(h.handle(req(Method::Get, "/new")).body_text(), "v1");
+
+        // If-Match with the current etag succeeds; a stale one is 412.
+        let etag = h.handle(req(Method::Get, "/new")).headers.get("etag").unwrap().to_owned();
+        let resp = h.handle(req(Method::Put, "/new").with_header("If-Match", &etag).with_body("v2"));
+        assert_eq!(resp.status.code(), 204);
+        let resp = h.handle(req(Method::Put, "/new").with_header("If-Match", etag).with_body("v3"));
+        assert_eq!(resp.status.code(), 412);
+        // If-Match on a nonexistent resource → 412 (even `*`).
+        let resp = h.handle(req(Method::Put, "/absent").with_header("If-Match", "*").with_body("x"));
+        assert_eq!(resp.status.code(), 412);
+    }
+
+    #[test]
+    fn if_header_etag_conditions_enforced() {
+        let h = handler();
+        h.handle(req(Method::Put, "/doc").with_body("v1"));
+        let etag = h.handle(req(Method::Get, "/doc")).headers.get("etag").unwrap().to_owned();
+
+        // A matching `[...]` condition lets the write through.
+        let resp = h.handle(
+            req(Method::Put, "/doc").with_header("If", format!("([{etag}])")).with_body("v2"),
+        );
+        assert_eq!(resp.status.code(), 204);
+        // The old etag no longer matches → 412, write refused.
+        let resp = h.handle(
+            req(Method::Put, "/doc").with_header("If", format!("([{etag}])")).with_body("v3"),
+        );
+        assert_eq!(resp.status.code(), 412);
+        assert_eq!(h.handle(req(Method::Get, "/doc")).body_text(), "v2");
+        // DELETE and MOVE honour the same condition.
+        let resp = h.handle(
+            req(Method::Delete, "/doc").with_header("If", "([\"bogus\"])"),
+        );
+        assert_eq!(resp.status.code(), 412);
+        let resp = h.handle(
+            req(Method::Move, "/doc")
+                .with_header("Destination", "/doc2")
+                .with_header("If", "([\"bogus\"])"),
+        );
+        assert_eq!(resp.status.code(), 412);
+        assert!(h.repo().exists("/doc"));
+    }
+
+    #[test]
+    fn propfind_carries_a_state_etag() {
+        let h = handler();
+        h.handle(req(Method::MkCol, "/c"));
+        h.handle(req(Method::Put, "/c/a").with_body("1"));
+        let resp = h.handle(req(Method::PropFind, "/c").with_header("Depth", "1"));
+        assert_eq!(resp.status.code(), 207);
+        let etag = resp.headers.get("etag").unwrap().to_owned();
+
+        // Unchanged tree revalidates without a body.
+        let resp = h.handle(
+            req(Method::PropFind, "/c")
+                .with_header("Depth", "1")
+                .with_header("If-None-Match", &etag),
+        );
+        assert_eq!(resp.status.code(), 304);
+        assert!(resp.body.is_empty());
+        // A different depth is a different entity.
+        let resp = h.handle(
+            req(Method::PropFind, "/c")
+                .with_header("Depth", "0")
+                .with_header("If-None-Match", &etag),
+        );
+        assert_eq!(resp.status.code(), 207);
+        // A member change moves the etag.
+        h.handle(req(Method::Put, "/c/b").with_body("2"));
+        let resp = h.handle(
+            req(Method::PropFind, "/c")
+                .with_header("Depth", "1")
+                .with_header("If-None-Match", &etag),
+        );
+        assert_eq!(resp.status.code(), 207);
+        assert_ne!(resp.headers.get("etag"), Some(etag.as_str()));
     }
 
     #[test]

@@ -227,6 +227,9 @@ impl Repository for MemRepository {
             .get_mut(&path)
             .ok_or_else(|| DavError::NotFound(path.clone()))?;
         n.props.insert(prop.name.clone(), prop.clone());
+        // Metadata edits advance the modification time so ETags and
+        // Last-Modified reflect PROPPATCH, matching the fs repository.
+        n.modified = SystemTime::now();
         Ok(())
     }
 
@@ -236,7 +239,11 @@ impl Repository for MemRepository {
         let n = nodes
             .get_mut(&path)
             .ok_or_else(|| DavError::NotFound(path.clone()))?;
-        Ok(n.props.remove(name).is_some())
+        let removed = n.props.remove(name).is_some();
+        if removed {
+            n.modified = SystemTime::now();
+        }
+        Ok(removed)
     }
 
     fn disk_usage(&self) -> Result<u64> {

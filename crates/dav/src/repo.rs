@@ -217,6 +217,45 @@ pub fn format_iso8601(t: SystemTime) -> String {
     format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
 }
 
+/// (year, month, day) → days-since-epoch; inverse of [`civil_from_days`].
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = if m > 2 { m - 3 } else { m + 9 } as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Parse an RFC 1123 HTTP date (`Sun, 06 Nov 1994 08:49:37 GMT`), the
+/// format [`format_http_date`] emits and conditional-request headers
+/// carry. The weekday is ignored; `None` for anything unparseable
+/// (RFC 2616 says an invalid `If-Modified-Since` is simply ignored).
+pub fn parse_http_date(s: &str) -> Option<SystemTime> {
+    let s = s.trim();
+    let rest = s.split_once(',').map(|(_, r)| r).unwrap_or(s).trim();
+    let mut parts = rest.split_whitespace();
+    let day: u32 = parts.next()?.parse().ok()?;
+    let mon = parts.next()?;
+    let month = MONTH_NAMES
+        .iter()
+        .position(|m| m.eq_ignore_ascii_case(mon))? as u32
+        + 1;
+    let year: i64 = parts.next()?.parse().ok()?;
+    let mut hms = parts.next()?.split(':');
+    let hh: i64 = hms.next()?.parse().ok()?;
+    let mm: i64 = hms.next()?.parse().ok()?;
+    let ss: i64 = hms.next()?.parse().ok()?;
+    if !(1..=31).contains(&day) || hh > 23 || mm > 59 || ss > 60 {
+        return None;
+    }
+    let secs = days_from_civil(year, month, day) * 86_400 + hh * 3600 + mm * 60 + ss;
+    // Pre-epoch dates cannot arise from our own formatter; treat them
+    // as the epoch rather than failing.
+    Some(UNIX_EPOCH + std::time::Duration::from_secs(secs.max(0) as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +296,22 @@ mod tests {
             format_iso8601(at((feb28_2100 + 86_400) as u64)),
             "2100-03-01T00:00:00Z"
         );
+    }
+
+    #[test]
+    fn http_date_round_trips() {
+        for secs in [0u64, 784_111_777, 951_782_400, 994_000_000, 4_107_456_000] {
+            let t = at(secs);
+            assert_eq!(parse_http_date(&format_http_date(t)), Some(t));
+        }
+        // Weekday and case are not load-bearing.
+        assert_eq!(
+            parse_http_date("Xxx, 06 NOV 1994 08:49:37 GMT"),
+            Some(at(784_111_777))
+        );
+        assert_eq!(parse_http_date("not a date"), None);
+        assert_eq!(parse_http_date(""), None);
+        assert_eq!(parse_http_date("Sun, 99 Nov 1994 08:49:37 GMT"), None);
     }
 
     #[test]

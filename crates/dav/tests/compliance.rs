@@ -24,6 +24,7 @@ static N: AtomicU64 = AtomicU64::new(0);
 struct Rig {
     server: Option<pse_http::server::Server>,
     client: DavClient,
+    repo: std::sync::Arc<FsRepository>,
     dir: PathBuf,
 }
 
@@ -44,16 +45,14 @@ impl Rig {
             },
         )
         .unwrap();
-        let server = serve(
-            "127.0.0.1:0",
-            ServerConfig::default(),
-            DavHandler::new(repo),
-        )
-        .unwrap();
+        let handler = DavHandler::new(repo);
+        let repo = handler.repo();
+        let server = serve("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
         let client = DavClient::connect(server.local_addr()).unwrap();
         Rig {
             server: Some(server),
             client,
+            repo,
             dir,
         }
     }
@@ -375,6 +374,234 @@ fn unicode_and_spaces_in_paths() {
         .responses
         .iter()
         .any(|r| r.href == "/mol\u{00e9}cules/uranyl aqua"));
+}
+
+// ---- conditional requests and caching ----
+
+#[test]
+fn conditional_get_revalidates_over_wire() {
+    let mut rig = Rig::new(DbmKind::Gdbm);
+    let c = &mut rig.client;
+    c.put("/doc", "payload", None).unwrap();
+
+    let resp = c.http().send(Request::new(Method::Get, "/doc")).unwrap();
+    assert_eq!(resp.status.code(), 200);
+    let etag = resp.headers.get("ETag").unwrap().to_owned();
+    let last_modified = resp.headers.get("Last-Modified").unwrap().to_owned();
+
+    // If-None-Match with the current etag → 304, no body on the wire.
+    let resp = c
+        .http()
+        .send(Request::new(Method::Get, "/doc").with_header("If-None-Match", &etag))
+        .unwrap();
+    assert_eq!(resp.status.code(), 304);
+    assert!(resp.body.is_empty());
+    assert_eq!(resp.headers.get("ETag"), Some(etag.as_str()));
+
+    // If-Modified-Since at the server's own Last-Modified must also
+    // revalidate — the header truncates to seconds, so the comparison
+    // has to be at second granularity even though mtimes carry nanos.
+    let resp = c
+        .http()
+        .send(Request::new(Method::Get, "/doc").with_header("If-Modified-Since", &last_modified))
+        .unwrap();
+    assert_eq!(resp.status.code(), 304);
+
+    // HEAD revalidates the same way.
+    let resp = c
+        .http()
+        .send(Request::new(Method::Head, "/doc").with_header("If-None-Match", &etag))
+        .unwrap();
+    assert_eq!(resp.status.code(), 304);
+
+    // A stale validator transfers the entity again.
+    let resp = c
+        .http()
+        .send(Request::new(Method::Get, "/doc").with_header("If-None-Match", "\"stale\""))
+        .unwrap();
+    assert_eq!(resp.status.code(), 200);
+    assert_eq!(resp.body, b"payload");
+}
+
+#[test]
+fn etag_moves_after_put_and_proppatch() {
+    let mut rig = Rig::new(DbmKind::Gdbm);
+    let c = &mut rig.client;
+    c.put("/doc", "v1", None).unwrap();
+    let etag = |c: &mut DavClient| {
+        c.http()
+            .send(Request::new(Method::Head, "/doc"))
+            .unwrap()
+            .headers
+            .get("ETag")
+            .unwrap()
+            .to_owned()
+    };
+    let e1 = etag(c);
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    c.put("/doc", "v2", None).unwrap();
+    let e2 = etag(c);
+    assert_ne!(e1, e2, "PUT must move the entity tag");
+    // PROPPATCH changes no bytes of the body, but it changes the
+    // entity a PROPFIND-aware cache observes — the etag must move so
+    // cached views revalidate (the props DBM mtime folds into it).
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    c.proppatch_set("/doc", &PropertyName::new(ECCE, "basis"), "6-31G*")
+        .unwrap();
+    let e3 = etag(c);
+    assert_ne!(e2, e3, "PROPPATCH must move the entity tag");
+}
+
+#[test]
+fn conditional_put_and_if_header_over_wire() {
+    let mut rig = Rig::new(DbmKind::Gdbm);
+    let c = &mut rig.client;
+
+    // If-None-Match: * — create-only PUT.
+    let send_put = |c: &mut DavClient, hdr: (&str, String), body: &str| {
+        c.http()
+            .send(
+                Request::new(Method::Put, "/cas")
+                    .with_header(hdr.0, hdr.1)
+                    .with_body(body),
+            )
+            .unwrap()
+            .status
+            .code()
+    };
+    assert_eq!(send_put(c, ("If-None-Match", "*".into()), "v1"), 201);
+    assert_eq!(send_put(c, ("If-None-Match", "*".into()), "v2"), 412);
+    assert_eq!(c.get("/cas").unwrap(), b"v1");
+
+    // If-Match guards lost updates: stale etag → 412, current → 204.
+    let etag = c
+        .http()
+        .send(Request::new(Method::Head, "/cas"))
+        .unwrap()
+        .headers
+        .get("ETag")
+        .unwrap()
+        .to_owned();
+    assert_eq!(send_put(c, ("If-Match", "\"stale\"".into()), "v2"), 412);
+    assert_eq!(send_put(c, ("If-Match", etag.clone()), "v2"), 204);
+    assert_eq!(send_put(c, ("If-Match", etag.clone()), "v3"), 412);
+    assert_eq!(c.get("/cas").unwrap(), b"v2");
+
+    // RFC 2518 If header etag conditions are enforced too.
+    let etag = c
+        .http()
+        .send(Request::new(Method::Head, "/cas"))
+        .unwrap()
+        .headers
+        .get("ETag")
+        .unwrap()
+        .to_owned();
+    assert_eq!(send_put(c, ("If", format!("([{etag}])")), "v3"), 204);
+    assert_eq!(send_put(c, ("If", format!("([{etag}])")), "v4"), 412);
+    assert_eq!(c.get("/cas").unwrap(), b"v3");
+}
+
+#[test]
+fn server_property_cache_invalidated_by_every_mutating_method() {
+    let mut rig = Rig::new(DbmKind::Gdbm);
+    let repo = std::sync::Arc::clone(&rig.repo);
+    let c = &mut rig.client;
+    let inv = || repo.cache_stats().invalidations;
+    // Warm the property cache for a path, run one mutation, and check
+    // the cached snapshot was dropped (the invalidation counter moved).
+    let check = |c: &mut DavClient, warm_path: &str, what: &str, m: &mut dyn FnMut(&mut DavClient)| {
+        c.propfind_all(warm_path, Depth::Zero).unwrap();
+        let before = inv();
+        m(c);
+        assert!(
+            inv() > before,
+            "{what} did not invalidate the server property cache"
+        );
+    };
+
+    c.mkcol("/inv").unwrap();
+    c.put("/inv/a", "v1", None).unwrap();
+    let k = PropertyName::new(ECCE, "k");
+
+    check(c, "/inv/a", "PUT", &mut |c| {
+        c.put("/inv/a", "v2", None).unwrap();
+    });
+    check(c, "/inv/a", "PROPPATCH set", &mut |c| {
+        c.proppatch_set("/inv/a", &k, "v").unwrap();
+    });
+    check(c, "/inv/a", "PROPPATCH remove", &mut |c| {
+        c.proppatch_remove("/inv/a", &k).unwrap();
+    });
+    c.put("/inv/b", "old", None).unwrap();
+    check(c, "/inv/b", "COPY onto existing", &mut |c| {
+        c.copy("/inv/a", "/inv/b", true).unwrap();
+    });
+    check(c, "/inv/b", "MOVE", &mut |c| {
+        c.move_("/inv/b", "/inv/c", false).unwrap();
+    });
+    check(c, "/inv/c", "DELETE", &mut |c| {
+        c.delete("/inv/c").unwrap();
+    });
+    // MOVE of a collection flushes the whole cached subtree.
+    c.propfind_all("/inv", Depth::One).unwrap();
+    let before = inv();
+    c.move_("/inv", "/inv2", false).unwrap();
+    assert!(inv() > before, "collection MOVE must flush the subtree");
+    // LOCK of an unmapped URL creates a resource (a write).
+    c.mkcol("/lk").unwrap();
+    c.propfind_all("/lk", Depth::One).unwrap();
+    let token = c
+        .lock("/lk/new", LockScope::Exclusive, Depth::Zero, "o", None)
+        .unwrap();
+    c.unlock("/lk/new", &token).unwrap();
+    // After all that churn the cache still answers correctly.
+    let ms = c.propfind_all("/inv2", Depth::One).unwrap();
+    assert_eq!(ms.responses.len(), 2); // /inv2 and /inv2/a
+}
+
+#[test]
+fn client_validating_cache_end_to_end() {
+    let mut rig = Rig::new(DbmKind::Gdbm);
+    let addr = rig.server.as_ref().unwrap().local_addr();
+    let c = &mut rig.client;
+    c.enable_cache(pse_cache::CacheConfig::default());
+    c.put("/data", "contents", None).unwrap();
+    c.proppatch_set("/data", &PropertyName::new(ECCE, "kind"), "molecule")
+        .unwrap();
+
+    // Cold read fills the cache; the warm read revalidates with a 304
+    // and answers from memory.
+    assert_eq!(c.get("/data").unwrap(), b"contents");
+    let cold = c.cache_stats();
+    assert_eq!(c.get("/data").unwrap(), b"contents");
+    let warm = c.cache_stats();
+    assert_eq!(warm.hits, cold.hits + 1, "warm GET must hit the cache");
+
+    // Same for a parsed PROPFIND multistatus.
+    let a = c.propfind_all("/data", Depth::Zero).unwrap();
+    let before = c.cache_stats();
+    let b = c.propfind_all("/data", Depth::Zero).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(c.cache_stats().hits, before.hits + 1);
+
+    // Another client changes the resource behind our back; because the
+    // cache validates on every use, we still observe the new state.
+    let mut other = DavClient::connect(addr).unwrap();
+    other.put("/data", "rewritten", None).unwrap();
+    assert_eq!(c.get("/data").unwrap(), b"rewritten");
+    let ms = c.propfind_all("/data", Depth::Zero).unwrap();
+    let len = ms.responses[0]
+        .prop(&PropertyName::dav("getcontentlength"))
+        .unwrap()
+        .text_value();
+    assert_eq!(len, "9");
+
+    // Local mutations flush the affected entries outright.
+    c.put("/data", "local", None).unwrap();
+    let before = c.cache_stats();
+    assert_eq!(c.get("/data").unwrap(), b"local");
+    let after = c.cache_stats();
+    assert_eq!(after.misses, before.misses + 1, "local PUT must evict");
 }
 
 #[test]

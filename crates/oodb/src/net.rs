@@ -104,6 +104,7 @@ pub struct OodbServer {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     live: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl OodbServer {
@@ -114,8 +115,10 @@ impl OodbServer {
         let stop = Arc::new(AtomicBool::new(false));
         let live: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let shared = Arc::new(Mutex::new(store));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_stop = Arc::clone(&stop);
         let accept_live = Arc::clone(&live);
+        let accept_threads = Arc::clone(&conn_threads);
         let accept_thread = std::thread::spawn(move || {
             let mut serial = 0u64;
             for stream in listener.incoming() {
@@ -131,10 +134,11 @@ impl OodbServer {
                 }
                 let store = Arc::clone(&shared);
                 let live = Arc::clone(&accept_live);
-                std::thread::spawn(move || {
+                let handle = std::thread::spawn(move || {
                     let _ = serve_connection(stream, &store);
                     live.lock().remove(&id);
                 });
+                accept_threads.lock().push(handle);
             }
         });
         Ok(OodbServer {
@@ -142,6 +146,7 @@ impl OodbServer {
             stop,
             accept_thread: Some(accept_thread),
             live,
+            conn_threads,
         })
     }
 
@@ -159,6 +164,12 @@ impl OodbServer {
         }
         for (_, s) in self.live.lock().drain() {
             let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        // Join connection threads so no handler is still touching the
+        // store (and its files) after shutdown returns.
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
+        for h in handles {
+            let _ = h.join();
         }
     }
 }
