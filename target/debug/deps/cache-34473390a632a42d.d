@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-34473390a632a42d.d: crates/bench/benches/cache.rs
+
+/root/repo/target/debug/deps/cache-34473390a632a42d: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compliance-926160adb89db796.d: crates/dav/tests/compliance.rs
+
+/root/repo/target/debug/deps/compliance-926160adb89db796: crates/dav/tests/compliance.rs
+
+crates/dav/tests/compliance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compliance-e8f81e53981098fc.d: crates/dav/tests/compliance.rs
+
+/root/repo/target/debug/deps/compliance-e8f81e53981098fc: crates/dav/tests/compliance.rs
+
+crates/dav/tests/compliance.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-a1841a8924b49cae.d: crates/shim-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a1841a8924b49cae.rlib: crates/shim-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a1841a8924b49cae.rmeta: crates/shim-criterion/src/lib.rs
+
+crates/shim-criterion/src/lib.rs:

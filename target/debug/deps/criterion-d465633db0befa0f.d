@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-d465633db0befa0f.d: crates/shim-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-d465633db0befa0f: crates/shim-criterion/src/lib.rs
+
+crates/shim-criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-17d5efadef3ca9d9.d: crates/shim-crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-17d5efadef3ca9d9: crates/shim-crossbeam/src/lib.rs
+
+crates/shim-crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-5156219169d05631.d: crates/shim-crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5156219169d05631.rlib: crates/shim-crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5156219169d05631.rmeta: crates/shim-crossbeam/src/lib.rs
+
+crates/shim-crossbeam/src/lib.rs:

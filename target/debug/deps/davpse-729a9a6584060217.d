@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/davpse-729a9a6584060217.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdavpse-729a9a6584060217.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdavpse-729a9a6584060217.rmeta: src/lib.rs
+
+src/lib.rs:

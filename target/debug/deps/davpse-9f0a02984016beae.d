@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/davpse-9f0a02984016beae.d: src/lib.rs
+
+/root/repo/target/debug/deps/davpse-9f0a02984016beae: src/lib.rs
+
+src/lib.rs:

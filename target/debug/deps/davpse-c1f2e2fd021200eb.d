@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/davpse-c1f2e2fd021200eb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdavpse-c1f2e2fd021200eb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdavpse-c1f2e2fd021200eb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/davpse-d8f67e061d89e47a.d: src/lib.rs
+
+/root/repo/target/debug/deps/davpse-d8f67e061d89e47a: src/lib.rs
+
+src/lib.rs:

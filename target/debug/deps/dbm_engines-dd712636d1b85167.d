@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbm_engines-dd712636d1b85167.d: crates/bench/benches/dbm_engines.rs
+
+/root/repo/target/debug/deps/dbm_engines-dd712636d1b85167: crates/bench/benches/dbm_engines.rs
+
+crates/bench/benches/dbm_engines.rs:

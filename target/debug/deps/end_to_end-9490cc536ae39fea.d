@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9490cc536ae39fea.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9490cc536ae39fea: tests/end_to_end.rs
+
+tests/end_to_end.rs:

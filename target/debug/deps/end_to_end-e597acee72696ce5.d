@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e597acee72696ce5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e597acee72696ce5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

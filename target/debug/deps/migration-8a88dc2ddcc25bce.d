@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration-8a88dc2ddcc25bce.d: crates/bench/benches/migration.rs
+
+/root/repo/target/debug/deps/migration-8a88dc2ddcc25bce: crates/bench/benches/migration.rs
+
+crates/bench/benches/migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_fidelity-05b9040960316d3e.d: tests/migration_fidelity.rs
+
+/root/repo/target/debug/deps/migration_fidelity-05b9040960316d3e: tests/migration_fidelity.rs
+
+tests/migration_fidelity.rs:

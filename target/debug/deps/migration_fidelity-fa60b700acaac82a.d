@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_fidelity-fa60b700acaac82a.d: tests/migration_fidelity.rs
+
+/root/repo/target/debug/deps/migration_fidelity-fa60b700acaac82a: tests/migration_fidelity.rs
+
+tests/migration_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-2bb78999842c0723.d: crates/dbm/tests/model.rs
+
+/root/repo/target/debug/deps/model-2bb78999842c0723: crates/dbm/tests/model.rs
+
+crates/dbm/tests/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-2b0c2983ae6be99a.d: crates/shim-parking-lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-2b0c2983ae6be99a.rlib: crates/shim-parking-lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-2b0c2983ae6be99a.rmeta: crates/shim-parking-lot/src/lib.rs
+
+crates/shim-parking-lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-5f41e2f805fe8e2b.d: crates/shim-parking-lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-5f41e2f805fe8e2b: crates/shim-parking-lot/src/lib.rs
+
+crates/shim-parking-lot/src/lib.rs:

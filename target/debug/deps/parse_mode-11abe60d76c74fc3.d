@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parse_mode-11abe60d76c74fc3.d: crates/bench/benches/parse_mode.rs
+
+/root/repo/target/debug/deps/parse_mode-11abe60d76c74fc3: crates/bench/benches/parse_mode.rs
+
+crates/bench/benches/parse_mode.rs:

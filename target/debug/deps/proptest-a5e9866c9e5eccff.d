@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a5e9866c9e5eccff.d: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a5e9866c9e5eccff.rlib: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a5e9866c9e5eccff.rmeta: crates/shim-proptest/src/lib.rs
+
+crates/shim-proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ff33ada0f57c67cc.d: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-ff33ada0f57c67cc: crates/shim-proptest/src/lib.rs
+
+crates/shim-proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0ae9d56d8821aa90.d: crates/xml/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0ae9d56d8821aa90: crates/xml/tests/proptests.rs
+
+crates/xml/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-423ecc5cdf9d7619.d: crates/ecce/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-423ecc5cdf9d7619: crates/ecce/tests/proptests.rs
+
+crates/ecce/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-69f2c44728be5bf7.d: crates/ecce/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-69f2c44728be5bf7: crates/ecce/tests/proptests.rs
+
+crates/ecce/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7c625811eee99fe7.d: crates/http/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7c625811eee99fe7: crates/http/tests/proptests.rs
+
+crates/http/tests/proptests.rs:

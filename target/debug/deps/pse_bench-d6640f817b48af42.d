@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pse_bench-d6640f817b48af42.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libpse_bench-d6640f817b48af42.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libpse_bench-d6640f817b48af42.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/proxy.rs:
+crates/bench/src/workloads.rs:

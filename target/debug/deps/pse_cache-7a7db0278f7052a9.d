@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pse_cache-7a7db0278f7052a9.d: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/pse_cache-7a7db0278f7052a9: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pse_cache-90972655c0b61932.d: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/libpse_cache-90972655c0b61932.rlib: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/libpse_cache-90972655c0b61932.rmeta: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

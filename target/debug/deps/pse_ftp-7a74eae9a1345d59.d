@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pse_ftp-7a74eae9a1345d59.d: crates/ftp/src/lib.rs crates/ftp/src/client.rs crates/ftp/src/error.rs crates/ftp/src/server.rs
+
+/root/repo/target/debug/deps/pse_ftp-7a74eae9a1345d59: crates/ftp/src/lib.rs crates/ftp/src/client.rs crates/ftp/src/error.rs crates/ftp/src/server.rs
+
+crates/ftp/src/lib.rs:
+crates/ftp/src/client.rs:
+crates/ftp/src/error.rs:
+crates/ftp/src/server.rs:

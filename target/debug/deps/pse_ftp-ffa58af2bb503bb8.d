@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pse_ftp-ffa58af2bb503bb8.d: crates/ftp/src/lib.rs crates/ftp/src/client.rs crates/ftp/src/error.rs crates/ftp/src/server.rs
+
+/root/repo/target/debug/deps/libpse_ftp-ffa58af2bb503bb8.rlib: crates/ftp/src/lib.rs crates/ftp/src/client.rs crates/ftp/src/error.rs crates/ftp/src/server.rs
+
+/root/repo/target/debug/deps/libpse_ftp-ffa58af2bb503bb8.rmeta: crates/ftp/src/lib.rs crates/ftp/src/client.rs crates/ftp/src/error.rs crates/ftp/src/server.rs
+
+crates/ftp/src/lib.rs:
+crates/ftp/src/client.rs:
+crates/ftp/src/error.rs:
+crates/ftp/src/server.rs:

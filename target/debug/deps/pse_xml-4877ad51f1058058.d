@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pse_xml-4877ad51f1058058.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libpse_xml-4877ad51f1058058.rlib: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libpse_xml-4877ad51f1058058.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/name.rs:
+crates/xml/src/pull.rs:
+crates/xml/src/writer.rs:

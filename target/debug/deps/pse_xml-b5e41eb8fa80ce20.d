@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pse_xml-b5e41eb8fa80ce20.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/pse_xml-b5e41eb8fa80ce20: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/name.rs:
+crates/xml/src/pull.rs:
+crates/xml/src/writer.rs:

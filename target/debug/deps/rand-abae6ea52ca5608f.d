@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-abae6ea52ca5608f.d: crates/shim-rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-abae6ea52ca5608f: crates/shim-rand/src/lib.rs
+
+crates/shim-rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c181dd5373f82db8.d: crates/shim-rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c181dd5373f82db8.rlib: crates/shim-rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c181dd5373f82db8.rmeta: crates/shim-rand/src/lib.rs
+
+crates/shim-rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablations-45fd461ecdb7fc20.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/debug/deps/repro_ablations-45fd461ecdb7fc20: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

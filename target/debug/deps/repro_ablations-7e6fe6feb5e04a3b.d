@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablations-7e6fe6feb5e04a3b.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/debug/deps/repro_ablations-7e6fe6feb5e04a3b: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-83089b9c6c759850.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-83089b9c6c759850: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-9dc44be7c59850f8.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-9dc44be7c59850f8: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

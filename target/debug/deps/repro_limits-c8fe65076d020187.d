@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-c8fe65076d020187.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-c8fe65076d020187: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_migration-1d3d24093617f38e.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/debug/deps/repro_migration-1d3d24093617f38e: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

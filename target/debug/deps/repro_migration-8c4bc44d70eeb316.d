@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_migration-8c4bc44d70eeb316.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/debug/deps/repro_migration-8c4bc44d70eeb316: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

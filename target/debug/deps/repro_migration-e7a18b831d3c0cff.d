@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_migration-e7a18b831d3c0cff.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/debug/deps/repro_migration-e7a18b831d3c0cff: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

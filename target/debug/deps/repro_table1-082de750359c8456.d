@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-082de750359c8456.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-082de750359c8456: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

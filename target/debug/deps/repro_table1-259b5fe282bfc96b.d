@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-259b5fe282bfc96b.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-259b5fe282bfc96b: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

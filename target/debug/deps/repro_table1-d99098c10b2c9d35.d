@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-d99098c10b2c9d35.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-d99098c10b2c9d35: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

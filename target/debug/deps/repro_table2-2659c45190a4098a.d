@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-2659c45190a4098a.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-2659c45190a4098a: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-c30aefcbb655594c.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-c30aefcbb655594c: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

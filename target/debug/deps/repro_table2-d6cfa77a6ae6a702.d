@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-d6cfa77a6ae6a702.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-d6cfa77a6ae6a702: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

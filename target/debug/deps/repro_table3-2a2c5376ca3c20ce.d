@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-2a2c5376ca3c20ce.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-2a2c5376ca3c20ce: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

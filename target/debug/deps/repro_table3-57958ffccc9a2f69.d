@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-57958ffccc9a2f69.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-57958ffccc9a2f69: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-a38bf061e0341bd2.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-a38bf061e0341bd2: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

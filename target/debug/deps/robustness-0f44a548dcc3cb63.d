@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-0f44a548dcc3cb63.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-0f44a548dcc3cb63: tests/robustness.rs
+
+tests/robustness.rs:

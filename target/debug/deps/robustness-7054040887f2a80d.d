@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-7054040887f2a80d.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-7054040887f2a80d: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-09c00302502b89ee.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-09c00302502b89ee: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e63950be5d7abcc7.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-e63950be5d7abcc7: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

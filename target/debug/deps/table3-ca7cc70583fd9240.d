@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ca7cc70583fd9240.d: crates/bench/benches/table3.rs
+
+/root/repo/target/debug/deps/table3-ca7cc70583fd9240: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chemistry_study-dfd6489ab8b7461f.d: examples/chemistry_study.rs
+
+/root/repo/target/debug/examples/chemistry_study-dfd6489ab8b7461f: examples/chemistry_study.rs
+
+examples/chemistry_study.rs:

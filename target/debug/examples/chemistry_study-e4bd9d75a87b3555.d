@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chemistry_study-e4bd9d75a87b3555.d: examples/chemistry_study.rs
+
+/root/repo/target/debug/examples/chemistry_study-e4bd9d75a87b3555: examples/chemistry_study.rs
+
+examples/chemistry_study.rs:

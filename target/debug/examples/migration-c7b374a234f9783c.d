@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration-c7b374a234f9783c.d: examples/migration.rs
+
+/root/repo/target/debug/examples/migration-c7b374a234f9783c: examples/migration.rs
+
+examples/migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration-f96a5cc0429e9c83.d: examples/migration.rs
+
+/root/repo/target/debug/examples/migration-f96a5cc0429e9c83: examples/migration.rs
+
+examples/migration.rs:

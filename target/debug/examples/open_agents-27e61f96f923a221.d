@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_agents-27e61f96f923a221.d: examples/open_agents.rs
+
+/root/repo/target/debug/examples/open_agents-27e61f96f923a221: examples/open_agents.rs
+
+examples/open_agents.rs:

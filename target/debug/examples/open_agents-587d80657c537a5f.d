@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_agents-587d80657c537a5f.d: examples/open_agents.rs
+
+/root/repo/target/debug/examples/open_agents-587d80657c537a5f: examples/open_agents.rs
+
+examples/open_agents.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-80e9d7e4e5f8dff3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-80e9d7e4e5f8dff3: examples/quickstart.rs
+
+examples/quickstart.rs:

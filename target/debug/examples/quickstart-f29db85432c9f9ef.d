@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f29db85432c9f9ef.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f29db85432c9f9ef: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache-31bc381a14c38972.d: crates/bench/benches/cache.rs
+
+/root/repo/target/release/deps/cache-31bc381a14c38972: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-425320b517f0d239.d: crates/shim-criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-425320b517f0d239.rlib: crates/shim-criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-425320b517f0d239.rmeta: crates/shim-criterion/src/lib.rs
+
+crates/shim-criterion/src/lib.rs:

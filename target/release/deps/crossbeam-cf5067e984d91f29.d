@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-cf5067e984d91f29.d: crates/shim-crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-cf5067e984d91f29.rlib: crates/shim-crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-cf5067e984d91f29.rmeta: crates/shim-crossbeam/src/lib.rs
+
+crates/shim-crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/davpse-8caebed8661dc3a3.d: src/lib.rs
+
+/root/repo/target/release/deps/libdavpse-8caebed8661dc3a3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdavpse-8caebed8661dc3a3.rmeta: src/lib.rs
+
+src/lib.rs:

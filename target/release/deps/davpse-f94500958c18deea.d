@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/davpse-f94500958c18deea.d: src/lib.rs
+
+/root/repo/target/release/deps/libdavpse-f94500958c18deea.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdavpse-f94500958c18deea.rmeta: src/lib.rs
+
+src/lib.rs:

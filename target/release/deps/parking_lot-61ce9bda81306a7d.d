@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-61ce9bda81306a7d.d: crates/shim-parking-lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-61ce9bda81306a7d.rlib: crates/shim-parking-lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-61ce9bda81306a7d.rmeta: crates/shim-parking-lot/src/lib.rs
+
+crates/shim-parking-lot/src/lib.rs:

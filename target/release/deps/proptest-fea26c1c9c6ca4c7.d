@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-fea26c1c9c6ca4c7.d: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fea26c1c9c6ca4c7.rlib: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fea26c1c9c6ca4c7.rmeta: crates/shim-proptest/src/lib.rs
+
+crates/shim-proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pse_cache-fa5f20948ca0a3b2.d: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/libpse_cache-fa5f20948ca0a3b2.rlib: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/libpse_cache-fa5f20948ca0a3b2.rmeta: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pse_ftp-16fdc73f54c417e2.d: crates/ftp/src/lib.rs crates/ftp/src/client.rs crates/ftp/src/error.rs crates/ftp/src/server.rs
+
+/root/repo/target/release/deps/libpse_ftp-16fdc73f54c417e2.rlib: crates/ftp/src/lib.rs crates/ftp/src/client.rs crates/ftp/src/error.rs crates/ftp/src/server.rs
+
+/root/repo/target/release/deps/libpse_ftp-16fdc73f54c417e2.rmeta: crates/ftp/src/lib.rs crates/ftp/src/client.rs crates/ftp/src/error.rs crates/ftp/src/server.rs
+
+crates/ftp/src/lib.rs:
+crates/ftp/src/client.rs:
+crates/ftp/src/error.rs:
+crates/ftp/src/server.rs:

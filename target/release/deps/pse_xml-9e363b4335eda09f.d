@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pse_xml-9e363b4335eda09f.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libpse_xml-9e363b4335eda09f.rlib: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libpse_xml-9e363b4335eda09f.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/name.rs:
+crates/xml/src/pull.rs:
+crates/xml/src/writer.rs:

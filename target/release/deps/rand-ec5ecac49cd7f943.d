@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ec5ecac49cd7f943.d: crates/shim-rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ec5ecac49cd7f943.rlib: crates/shim-rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ec5ecac49cd7f943.rmeta: crates/shim-rand/src/lib.rs
+
+crates/shim-rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablations-a1d27d37c4c7c6b0.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/release/deps/repro_ablations-a1d27d37c4c7c6b0: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

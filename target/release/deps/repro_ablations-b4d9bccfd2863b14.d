@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablations-b4d9bccfd2863b14.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/release/deps/repro_ablations-b4d9bccfd2863b14: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

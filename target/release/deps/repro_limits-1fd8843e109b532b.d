@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_limits-1fd8843e109b532b.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/release/deps/repro_limits-1fd8843e109b532b: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_limits-97e5dd0c641908da.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/release/deps/repro_limits-97e5dd0c641908da: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_migration-19e81c6f641d591a.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/release/deps/repro_migration-19e81c6f641d591a: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

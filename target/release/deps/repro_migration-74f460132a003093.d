@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_migration-74f460132a003093.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/release/deps/repro_migration-74f460132a003093: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-4d421c58a0aeac1c.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-4d421c58a0aeac1c: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

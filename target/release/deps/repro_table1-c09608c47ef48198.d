@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-c09608c47ef48198.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-c09608c47ef48198: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

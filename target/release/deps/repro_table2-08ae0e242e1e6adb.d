@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table2-08ae0e242e1e6adb.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/release/deps/repro_table2-08ae0e242e1e6adb: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table2-cdb27e01b1f88e9c.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/release/deps/repro_table2-cdb27e01b1f88e9c: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table3-6ddde0466634339a.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/release/deps/repro_table3-6ddde0466634339a: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

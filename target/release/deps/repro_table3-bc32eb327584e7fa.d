@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table3-bc32eb327584e7fa.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/release/deps/repro_table3-bc32eb327584e7fa: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

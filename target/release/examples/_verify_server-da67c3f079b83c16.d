@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_server-da67c3f079b83c16.d: examples/_verify_server.rs
+
+/root/repo/target/release/examples/_verify_server-da67c3f079b83c16: examples/_verify_server.rs
+
+examples/_verify_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d6981ea42a2e0c92.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d6981ea42a2e0c92: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libcrossbeam.rlib: /root/repo/crates/shim-crossbeam/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libpse_cache.rlib: /root/repo/crates/cache/src/lib.rs
