@@ -135,6 +135,16 @@ impl DavClient {
         self.http.set_policy(policy);
     }
 
+    /// Install a retry/timeout/backoff policy on the underlying HTTP
+    /// client. Idempotent DAV traffic (GET, PUT, DELETE, PROPFIND, …)
+    /// is re-sent across transport failures; non-idempotent methods
+    /// (MKCOL, MOVE, COPY, LOCK) surface
+    /// [`pse_http::Error::MaybeExecuted`] instead of risking a
+    /// duplicated side effect.
+    pub fn set_retry_policy(&mut self, policy: pse_http::RetryPolicy) {
+        self.http.set_retry_policy(policy);
+    }
+
     /// Access the underlying HTTP client (for raw requests).
     pub fn http(&mut self) -> &mut Client {
         &mut self.http

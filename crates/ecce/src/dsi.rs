@@ -83,6 +83,15 @@ impl DavStorage {
     pub fn client(&mut self) -> &mut DavClient {
         &mut self.client
     }
+
+    /// Install a retry/timeout/backoff policy for the DAV wire traffic
+    /// this storage performs. Tool workloads keep running across
+    /// transient resets and stalls; ambiguous non-idempotent failures
+    /// (a MKCOL whose response was lost) surface as errors rather than
+    /// being silently duplicated.
+    pub fn set_retry_policy(&mut self, policy: pse_http::RetryPolicy) {
+        self.client.set_retry_policy(policy);
+    }
 }
 
 impl DataStorage for DavStorage {

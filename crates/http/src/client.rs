@@ -7,15 +7,25 @@
 //! exhausted, keep-alive timeout, or process restart). A
 //! [`ConnectionPolicy::CloseEveryRequest`] mode reproduces the paper's
 //! reconnect-per-request configuration for the connection ablation bench.
+//!
+//! Transport failures are handled by a [`RetryPolicy`]: idempotent
+//! methods are re-sent with exponential backoff until the attempt cap or
+//! deadline runs out, while a non-idempotent method whose bytes may have
+//! reached the server surfaces [`Error::MaybeExecuted`] instead of being
+//! retried into a duplicate side effect.
 
 use crate::auth::Credentials;
 use crate::error::{Error, Result};
 use crate::message::{Request, Response};
 use crate::method::Method;
+use crate::retry::RetryPolicy;
 use crate::wire::{self, Limits};
-use std::io::{BufReader, BufWriter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::thread;
+use std::time::Instant;
 
 /// Whether to keep the TCP connection across requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,9 +47,12 @@ pub struct Client {
     credentials: Option<Credentials>,
     policy: ConnectionPolicy,
     limits: Limits,
-    read_timeout: Option<Duration>,
+    retry: RetryPolicy,
+    rng: StdRng,
     /// Number of TCP connects performed (for the ablation bench).
     connects: u64,
+    /// Number of re-send attempts made after a transport failure.
+    retries: u64,
 }
 
 impl Client {
@@ -50,6 +63,7 @@ impl Client {
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| Error::Parse("address resolved to nothing".into()))?;
+        let retry = RetryPolicy::default();
         let mut c = Client {
             addr,
             host_header: addr.to_string(),
@@ -57,8 +71,10 @@ impl Client {
             credentials: None,
             policy: ConnectionPolicy::Persistent,
             limits: Limits::default(),
-            read_timeout: Some(Duration::from_secs(120)),
+            rng: StdRng::seed_from_u64(retry.seed),
+            retry,
             connects: 0,
+            retries: 0,
         };
         c.ensure_connected()?;
         Ok(c)
@@ -82,25 +98,47 @@ impl Client {
         self.limits = limits;
     }
 
+    /// Install a retry/timeout/backoff policy. The jitter generator is
+    /// re-seeded from the policy so behaviour is reproducible; socket
+    /// timeouts apply from the next connection onwards.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.rng = StdRng::seed_from_u64(policy.seed);
+        self.retry = policy;
+        self.stream = None; // reconnect so the new timeouts take effect
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// TCP connections opened so far.
     pub fn connect_count(&self) -> u64 {
         self.connects
+    }
+
+    /// Re-send attempts made so far (0 when every request succeeded on
+    /// its first try).
+    pub fn retry_count(&self) -> u64 {
+        self.retries
     }
 
     fn ensure_connected(&mut self) -> Result<()> {
         if self.stream.is_none() {
             let s = TcpStream::connect(self.addr)?;
             s.set_nodelay(true)?;
-            s.set_read_timeout(self.read_timeout)?;
+            s.set_read_timeout(self.retry.read_timeout)?;
+            s.set_write_timeout(self.retry.write_timeout)?;
             self.stream = Some(s);
             self.connects += 1;
         }
         Ok(())
     }
 
-    /// Send a request and read the response. On a stale persistent
-    /// connection (server closed it between requests) the request is
-    /// retried once on a fresh connection.
+    /// Send a request and read the response, retrying per the installed
+    /// [`RetryPolicy`]. Only transport-level failures (reset, EOF,
+    /// timeout, garbled response) are retried, and only for idempotent
+    /// methods; HTTP error statuses are responses, not failures.
     pub fn send(&mut self, mut req: Request) -> Result<Response> {
         if let Some(c) = &self.credentials {
             req.headers.set("Authorization", c.to_header_value());
@@ -109,21 +147,67 @@ impl Client {
             req.headers.set("Connection", "close");
             self.stream = None;
         }
-        match self.try_send(&req) {
-            Ok(resp) => Ok(resp),
-            Err(Error::ConnectionClosed) | Err(Error::Io(_)) => {
-                // One retry on a fresh connection.
-                self.stream = None;
-                self.try_send(&req)
+        let start = Instant::now();
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            // A reused connection may have died since the last exchange
+            // (keep-alive timeout, server restart). Readable-or-EOF before
+            // we have sent anything means it is unusable: discard it *now*
+            // so the failure is a clean reconnect, not an ambiguous loss
+            // of an in-flight request.
+            if let Some(s) = &self.stream {
+                if connection_is_stale(s) {
+                    self.stream = None;
+                }
             }
-            Err(e) => Err(e),
+            let mut wrote = false;
+            let err = match self.try_send(&req, &mut wrote) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if is_transient(&e) => e,
+                Err(e) => return Err(e),
+            };
+            self.stream = None;
+            if wrote && !req.method.is_idempotent() {
+                // Bytes (possibly all of them) reached the wire and the
+                // method is not safe to repeat: the server may have
+                // executed it. Surface the ambiguity to the caller.
+                return Err(Error::MaybeExecuted {
+                    method: req.method.to_string(),
+                    cause: Box::new(err),
+                });
+            }
+            if attempt >= max_attempts {
+                return Err(Error::RetriesExhausted {
+                    attempts: attempt,
+                    cause: Box::new(err),
+                });
+            }
+            let pause = self.retry.backoff(attempt - 1, &mut self.rng);
+            if let Some(budget) = self.retry.deadline {
+                if start.elapsed() + pause >= budget {
+                    return Err(Error::RetriesExhausted {
+                        attempts: attempt,
+                        cause: Box::new(err),
+                    });
+                }
+            }
+            self.retries += 1;
+            if !pause.is_zero() {
+                thread::sleep(pause);
+            }
         }
     }
 
-    fn try_send(&mut self, req: &Request) -> Result<Response> {
+    /// One attempt: connect if needed, write, read. Sets `wrote` once the
+    /// request has started towards the wire (conservatively: before the
+    /// first byte is handed to the socket).
+    fn try_send(&mut self, req: &Request, wrote: &mut bool) -> Result<Response> {
         self.ensure_connected()?;
         let stream = self.stream.as_ref().expect("just connected");
         let mut writer = BufWriter::new(stream.try_clone()?);
+        *wrote = true;
         let write_result = wire::write_request(&mut writer, req, &self.host_header);
         if write_result.is_err() {
             // The server may have rejected the request early (e.g. 413 on
@@ -140,7 +224,7 @@ impl Client {
         let mut reader = BufReader::new(stream.try_clone()?);
         let resp = wire::read_response(&mut reader, &req.method, &self.limits)?;
         if self.policy == ConnectionPolicy::CloseEveryRequest
-            || !wire::keep_alive(&resp.headers)
+            || !wire::keep_alive(resp.version, &resp.headers)
         {
             self.stream = None;
         }
@@ -163,11 +247,34 @@ impl Client {
     }
 }
 
+/// Failures that a fresh connection can plausibly cure.
+fn is_transient(e: &Error) -> bool {
+    matches!(e, Error::ConnectionClosed | Error::Io(_) | Error::Parse(_))
+}
+
+/// An idle persistent connection must have nothing to read. Readable
+/// means either EOF (the server closed it) or stray bytes (a desynced
+/// exchange) — both poison reuse. `WouldBlock` is the healthy case.
+fn connection_is_stale(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let stale = match stream.peek(&mut probe) {
+        Ok(_) => true,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    stale
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::message::Response;
     use crate::server::{Server, ServerConfig};
+    use std::time::Duration;
 
     fn server() -> Server {
         Server::bind("127.0.0.1:0", ServerConfig::default(), |req: Request| {
@@ -215,6 +322,59 @@ mod tests {
             assert_eq!(c.get("/").unwrap().status.code(), 200);
         }
         s.shutdown();
+    }
+
+    #[test]
+    fn non_idempotent_survives_connection_budget() {
+        // The server advertises `Connection: close` on its budget-final
+        // response and the client probes reused connections before
+        // writing, so POST/MKCOL traffic across many short-lived
+        // connections must never see a spurious MaybeExecuted.
+        let s = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                max_requests_per_connection: 2,
+                ..ServerConfig::default()
+            },
+            |_req| Response::ok(),
+        )
+        .unwrap();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        for i in 0..7 {
+            let resp = c
+                .send(Request::new(Method::Post, "/side-effect"))
+                .unwrap_or_else(|e| panic!("POST {i} failed: {e}"));
+            assert_eq!(resp.status.code(), 200);
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn retries_exhausted_reports_attempts() {
+        // Nothing is listening on this socket after we drop the listener:
+        // connects fail, which is retryable even for POST (no bytes ever
+        // reached a server).
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let s = server();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        s.shutdown();
+        c.addr = addr; // point at the now-dead port
+        c.stream = None;
+        c.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            deadline: Some(Duration::from_secs(5)),
+            ..RetryPolicy::default()
+        });
+        match c.get("/") {
+            Err(Error::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(c.retry_count(), 2);
     }
 
     #[test]

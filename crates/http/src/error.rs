@@ -30,6 +30,24 @@ pub enum Error {
     UnsupportedVersion(String),
     /// The client was asked for a response but has no live connection.
     NotConnected,
+    /// A non-idempotent request (POST, MKCOL, MOVE, COPY, LOCK, ...)
+    /// reached the wire but the response was lost. The server may or may
+    /// not have executed it; re-sending could duplicate the side effect,
+    /// so the ambiguity is surfaced instead of being retried away.
+    MaybeExecuted {
+        /// The method whose outcome is unknown.
+        method: String,
+        /// The transport failure that lost the response.
+        cause: Box<Error>,
+    },
+    /// The retry policy gave up: every allowed attempt failed, or the
+    /// overall deadline would be exceeded by waiting to try again.
+    RetriesExhausted {
+        /// Attempts actually made.
+        attempts: u32,
+        /// The last transport failure observed.
+        cause: Box<Error>,
+    },
 }
 
 impl From<io::Error> for Error {
@@ -53,6 +71,14 @@ impl fmt::Display for Error {
             }
             Error::UnsupportedVersion(v) => write!(f, "unsupported HTTP version `{v}`"),
             Error::NotConnected => write!(f, "client has no open connection"),
+            Error::MaybeExecuted { method, cause } => write!(
+                f,
+                "{method} may have executed on the server but the response was lost ({cause}); \
+                 not retried because {method} is not idempotent"
+            ),
+            Error::RetriesExhausted { attempts, cause } => {
+                write!(f, "request failed after {attempts} attempt(s): {cause}")
+            }
         }
     }
 }
@@ -61,6 +87,9 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e.as_ref()),
+            Error::MaybeExecuted { cause, .. } | Error::RetriesExhausted { cause, .. } => {
+                Some(cause.as_ref())
+            }
             _ => None,
         }
     }

@@ -18,7 +18,12 @@
 //!   *faster* in its environment — an anomaly the `connections` ablation
 //!   bench revisits), plus basic authentication;
 //! * [`auth`] — base64 and an HTTP Basic credential store;
-//! * [`uri`] — origin-form request targets and percent-encoding.
+//! * [`uri`] — origin-form request targets and percent-encoding;
+//! * [`retry`] — an idempotency-aware retry/timeout/backoff policy the
+//!   client applies to transport failures;
+//! * [`fault`] — a deterministic fault-injecting TCP proxy (resets,
+//!   delays, truncation, corruption) used by the robustness suite to
+//!   exercise the retry policy.
 //!
 //! The DAV layer (`pse-dav`) sits directly on these types; nothing here
 //! knows anything about DAV beyond allowing extension methods.
@@ -40,9 +45,11 @@
 pub mod auth;
 pub mod client;
 pub mod error;
+pub mod fault;
 pub mod headers;
 pub mod message;
 pub mod method;
+pub mod retry;
 pub mod server;
 pub mod status;
 pub mod uri;
@@ -50,9 +57,11 @@ pub mod wire;
 
 pub use client::Client;
 pub use error::{Error, Result};
+pub use fault::{Fault, FaultProxy, Point, Schedule};
 pub use headers::Headers;
-pub use message::{Request, Response};
+pub use message::{Request, Response, Version};
 pub use method::Method;
+pub use retry::RetryPolicy;
 pub use server::{Server, ServerConfig};
 pub use status::StatusCode;
 pub use uri::Target;

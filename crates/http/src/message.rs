@@ -4,14 +4,46 @@ use crate::headers::Headers;
 use crate::method::Method;
 use crate::status::StatusCode;
 use crate::uri::Target;
+use std::fmt;
 
-/// An HTTP/1.1 request.
+/// The HTTP protocol version of a message. The version changes the
+/// connection-management default: HTTP/1.1 connections are persistent
+/// unless `Connection: close` is sent, HTTP/1.0 connections close
+/// unless `Connection: keep-alive` is negotiated (RFC 2616 §8.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Version {
+    /// HTTP/1.0 — close-by-default connections.
+    V1_0,
+    /// HTTP/1.1 — persistent-by-default connections.
+    #[default]
+    V1_1,
+}
+
+impl Version {
+    /// The wire token (`HTTP/1.0` / `HTTP/1.1`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Version::V1_0 => "HTTP/1.0",
+            Version::V1_1 => "HTTP/1.1",
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An HTTP/1.x request.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// The request method (core or DAV extension).
     pub method: Method,
     /// Parsed request target.
     pub target: Target,
+    /// Protocol version from the request line (drives keep-alive).
+    pub version: Version,
     /// Header fields.
     pub headers: Headers,
     /// Entity body (possibly empty).
@@ -24,6 +56,7 @@ impl Request {
         Request {
             method,
             target: Target::parse(path),
+            version: Version::default(),
             headers: Headers::new(),
             body: Vec::new(),
         }
@@ -63,11 +96,13 @@ impl Request {
     }
 }
 
-/// An HTTP/1.1 response.
+/// An HTTP/1.x response.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code.
     pub status: StatusCode,
+    /// Protocol version from the status line (drives keep-alive).
+    pub version: Version,
     /// Header fields.
     pub headers: Headers,
     /// Entity body (possibly empty).
@@ -79,6 +114,7 @@ impl Response {
     pub fn new(status: StatusCode) -> Response {
         Response {
             status,
+            version: Version::default(),
             headers: Headers::new(),
             body: Vec::new(),
         }

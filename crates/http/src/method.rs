@@ -89,6 +89,32 @@ impl Method {
         )
     }
 
+    /// Is the method idempotent — safe to re-send after a transport
+    /// failure because N identical requests leave the server in the same
+    /// state as one? (RFC 2616 §9.1.2; RFC 2518 keeps PROPFIND,
+    /// PROPPATCH and UNLOCK idempotent.) Non-idempotent methods (POST,
+    /// MKCOL, COPY, MOVE, LOCK, the DeltaV state changers, unknown
+    /// extensions) must never be blindly retried once bytes may have
+    /// reached the server: a duplicate MKCOL turns success into 405, a
+    /// duplicate CHECKIN creates an extra version, a duplicate POST
+    /// duplicates the side effect.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Method::Options
+                | Method::Get
+                | Method::Head
+                | Method::Put
+                | Method::Delete
+                | Method::Trace
+                | Method::PropFind
+                | Method::PropPatch
+                | Method::Unlock
+                | Method::Search
+                | Method::Report
+        )
+    }
+
     /// Does the method potentially modify server state? (Used for lock
     /// enforcement: RFC 2518 guards write methods with lock tokens.)
     pub fn is_write(&self) -> bool {
@@ -176,5 +202,32 @@ mod tests {
         assert!(!Method::PropFind.is_write());
         assert!(!Method::Head.response_has_body());
         assert!(Method::Get.response_has_body());
+    }
+
+    #[test]
+    fn idempotency_classification() {
+        for m in [
+            Method::Get,
+            Method::Head,
+            Method::Options,
+            Method::Put,
+            Method::Delete,
+            Method::PropFind,
+            Method::PropPatch,
+            Method::Unlock,
+        ] {
+            assert!(m.is_idempotent(), "{m}");
+        }
+        for m in [
+            Method::Post,
+            Method::MkCol,
+            Method::Copy,
+            Method::Move,
+            Method::Lock,
+            Method::Checkin,
+            Method::Extension("BREW".into()),
+        ] {
+            assert!(!m.is_idempotent(), "{m}");
+        }
     }
 }

@@ -195,7 +195,6 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     for served in 0..config.max_requests_per_connection {
-        let _ = served;
         let req = match wire::read_request(&mut reader, &config.limits) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean close between requests
@@ -211,12 +210,16 @@ fn serve_connection(
                 let resp = Response::error(
                     StatusCode::ENTITY_TOO_LARGE,
                     &format!("{what} exceeds {limit} bytes"),
-                );
+                )
+                .with_header("Connection", "close");
                 let _ = wire::write_response(&mut writer, &resp, false);
                 return Ok(());
             }
             Err(Error::Parse(_)) | Err(Error::UnsupportedVersion(_)) => {
-                let resp = Response::error(StatusCode::BAD_REQUEST, "malformed request");
+                // The stream may be desynced (e.g. an unframeable body);
+                // answer and drop the connection rather than guess.
+                let resp = Response::error(StatusCode::BAD_REQUEST, "malformed request")
+                    .with_header("Connection", "close");
                 let _ = wire::write_response(&mut writer, &resp, false);
                 return Ok(());
             }
@@ -224,7 +227,11 @@ fn serve_connection(
         };
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let head_only = req.method == Method::Head;
-        let client_wants_close = !wire::keep_alive(&req.headers);
+        // HTTP/1.0 clients get close-by-default semantics; on the last
+        // budgeted request we advertise the close so the client can
+        // re-connect instead of discovering a stale connection later.
+        let client_wants_close = !wire::keep_alive(req.version, &req.headers);
+        let budget_exhausted = served + 1 == config.max_requests_per_connection;
 
         let mut resp = match &config.auth {
             Some(store) => match store.authenticate(req.headers.get("Authorization")) {
@@ -237,11 +244,12 @@ fn serve_connection(
             },
             None => handler(req),
         };
-        if client_wants_close {
+        if client_wants_close || budget_exhausted {
             resp.headers.set("Connection", "close");
         }
         wire::write_response(&mut writer, &resp, head_only)?;
-        if client_wants_close || !wire::keep_alive(&resp.headers) {
+        if client_wants_close || budget_exhausted || !wire::keep_alive(resp.version, &resp.headers)
+        {
             return Ok(());
         }
     }
@@ -331,6 +339,69 @@ mod tests {
         bad.set_credentials(Credentials::new("karen", "nope"));
         assert_eq!(bad.get("/").unwrap().status, StatusCode::UNAUTHORIZED);
         assert!(server.stats().auth_failures.load(Ordering::Relaxed) >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_1_0_request_closes_promptly() {
+        // Regression: the version used to be parsed then discarded, so a
+        // 1.0 client without `Connection: keep-alive` hung for the full
+        // 15 s keep-alive timeout waiting for the server's FIN.
+        let server = echo_server(ServerConfig::default());
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        use std::io::{Read, Write};
+        raw.write_all(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
+        let start = std::time::Instant::now();
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).unwrap(); // returns only once the server closes
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.to_ascii_lowercase().contains("connection: close"), "{text}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "HTTP/1.0 connection held open {:?}",
+            start.elapsed()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn budget_final_response_advertises_close() {
+        let server = echo_server(ServerConfig {
+            max_requests_per_connection: 2,
+            ..ServerConfig::default()
+        });
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        use std::io::{Read, Write};
+        raw.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        // First response keeps the connection, the second (budget-final)
+        // advertises the close so clients reconnect proactively.
+        let closes = text.to_ascii_lowercase().matches("connection: close").count();
+        assert_eq!(closes, 1, "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unparseable_content_length_cannot_desync_pipeline() {
+        // Regression: `Content-Length: banana` used to read as 0, leaving
+        // the body bytes on the stream to be served as a second request.
+        let server = echo_server(ServerConfig::default());
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        use std::io::{Read, Write};
+        raw.write_all(
+            b"PUT /x HTTP/1.1\r\nContent-Length: banana\r\n\r\nGET /smuggled HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        // Exactly one response: the smuggled GET was never served.
+        assert_eq!(text.matches("HTTP/1.1 ").count(), 1, "{text}");
         server.shutdown();
     }
 

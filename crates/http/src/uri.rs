@@ -22,11 +22,21 @@ impl Target {
     /// never sees an escape attempt.
     pub fn parse(raw: &str) -> Target {
         let raw = raw.trim();
-        // Strip scheme://authority if present.
-        let after_scheme = raw
-            .find("://")
-            .and_then(|i| raw[i + 3..].find('/').map(|j| &raw[i + 3 + j..]))
-            .unwrap_or(raw);
+        // Strip scheme://authority if present. Origin-form targets
+        // (starting with `/`) are never treated as absolute even if the
+        // path happens to contain `://`. Absolute form without any path
+        // (`http://host`) addresses the root, not a `/http:/host` path.
+        let after_scheme = if raw.starts_with('/') {
+            raw
+        } else if let Some(i) = raw.find("://") {
+            let rest = &raw[i + 3..];
+            match rest.find(['/', '?']) {
+                Some(j) => &rest[j..],
+                None => "/",
+            }
+        } else {
+            raw
+        };
         let (path_raw, query) = match after_scheme.split_once('?') {
             Some((p, q)) => (p, Some(q.to_owned())),
             None => (after_scheme, None),
@@ -179,6 +189,30 @@ mod tests {
     fn absolute_form_strips_authority() {
         let t = Target::parse("http://dav.pnl.gov:8080/Ecce/users/karen");
         assert_eq!(t.path(), "/Ecce/users/karen");
+    }
+
+    #[test]
+    fn absolute_form_without_path_is_root() {
+        // Regression: this used to fall through and yield `/http:/host`.
+        let t = Target::parse("http://dav.pnl.gov");
+        assert_eq!(t.path(), "/");
+        assert_eq!(t.query(), None);
+        let t = Target::parse("https://host:8443");
+        assert_eq!(t.path(), "/");
+        // A query with no path still lands on the root.
+        let t = Target::parse("http://host?depth=1");
+        assert_eq!(t.path(), "/");
+        assert_eq!(t.query(), Some("depth=1"));
+    }
+
+    #[test]
+    fn origin_form_containing_scheme_like_segment() {
+        // `://` inside an origin-form path must not be treated as an
+        // authority marker.
+        let t = Target::parse("/docs/a%3A%2F%2Fb/c");
+        assert_eq!(t.path(), "/docs/a:/b/c"); // duplicate slash collapsed
+        let t = Target::parse("/weird/x://y/z");
+        assert_eq!(t.path(), "/weird/x:/y/z"); // duplicate slash collapsed
     }
 
     #[test]

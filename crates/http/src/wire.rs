@@ -9,7 +9,7 @@
 
 use crate::error::{Error, Result};
 use crate::headers::Headers;
-use crate::message::{Request, Response};
+use crate::message::{Request, Response, Version};
 use crate::method::Method;
 use crate::status::StatusCode;
 use crate::uri::Target;
@@ -38,26 +38,43 @@ impl Default for Limits {
 }
 
 /// Read one CRLF- (or bare-LF-) terminated line, without the terminator.
+/// Scans the reader's internal buffer (`fill_buf`) in chunks rather than
+/// issuing one `read()` syscall per byte.
 fn read_line(r: &mut impl BufRead, max: usize) -> Result<String> {
     let mut buf = Vec::with_capacity(128);
     loop {
-        let mut byte = [0u8];
-        let n = std::io::Read::read(r, &mut byte)?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Err(Error::ConnectionClosed);
+        let (used, done) = {
+            let available = match r.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
+            if available.is_empty() {
+                if buf.is_empty() {
+                    return Err(Error::ConnectionClosed);
+                }
+                break;
             }
-            break;
-        }
-        if byte[0] == b'\n' {
-            break;
-        }
-        buf.push(byte[0]);
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..i]);
+                    (i + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        r.consume(used);
         if buf.len() > max {
             return Err(Error::TooLarge {
                 what: "header line",
                 limit: max,
             });
+        }
+        if done {
+            break;
         }
     }
     if buf.last() == Some(&b'\r') {
@@ -90,12 +107,39 @@ fn read_headers(r: &mut impl BufRead, limits: &Limits) -> Result<Headers> {
     }
 }
 
+/// Parse `Content-Length` strictly. A value that does not parse as a
+/// non-negative integer, or duplicate fields (or list members) that
+/// disagree, are framing attacks or bugs: treating them as 0 would
+/// leave the body bytes on the stream to be read as the *next* message
+/// on a keep-alive connection (request desync / smuggling). Repeated
+/// identical values are coalesced, as RFC 7230 §3.3.2 allows.
+pub fn strict_content_length(headers: &Headers) -> Result<Option<usize>> {
+    let mut seen: Option<usize> = None;
+    for raw in headers.get_all("Content-Length") {
+        for part in raw.split(',') {
+            let part = part.trim();
+            let n: usize = part
+                .parse()
+                .map_err(|_| Error::Parse(format!("invalid Content-Length `{part}`")))?;
+            match seen {
+                Some(prev) if prev != n => {
+                    return Err(Error::Parse(format!(
+                        "conflicting Content-Length values ({prev} vs {n})"
+                    )))
+                }
+                _ => seen = Some(n),
+            }
+        }
+    }
+    Ok(seen)
+}
+
 /// Read a message body according to the framing headers.
 fn read_body(r: &mut impl BufRead, headers: &Headers, limits: &Limits) -> Result<Vec<u8>> {
     if headers.has_token("Transfer-Encoding", "chunked") {
         return read_chunked(r, limits);
     }
-    let len = headers.content_length().unwrap_or(0);
+    let len = strict_content_length(headers)?.unwrap_or(0);
     if len > limits.max_body {
         return Err(Error::TooLarge {
             what: "entity body",
@@ -164,15 +208,18 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Requ
         (Some(m), Some(t), Some(v)) => (m, t, v),
         _ => return Err(Error::Parse(format!("malformed request line `{line}`"))),
     };
-    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
-        return Err(Error::UnsupportedVersion(version.to_owned()));
-    }
+    let version = match version {
+        "HTTP/1.1" => Version::V1_1,
+        "HTTP/1.0" => Version::V1_0,
+        v => return Err(Error::UnsupportedVersion(v.to_owned())),
+    };
     let method: Method = method.parse().expect("infallible");
     let headers = read_headers(r, limits)?;
     let body = read_body(r, &headers, limits)?;
     Ok(Some(Request {
         method,
         target: Target::parse(target),
+        version,
         headers,
         body,
     }))
@@ -182,10 +229,15 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Requ
 pub fn read_response(r: &mut impl BufRead, method: &Method, limits: &Limits) -> Result<Response> {
     let line = read_line(r, limits.max_header_line)?;
     let mut parts = line.splitn(3, ' ');
-    let version = parts.next().unwrap_or("");
-    if !version.starts_with("HTTP/1.") {
+    let version_token = parts.next().unwrap_or("");
+    if !version_token.starts_with("HTTP/1.") {
         return Err(Error::Parse(format!("malformed status line `{line}`")));
     }
+    let version = if version_token == "HTTP/1.0" {
+        Version::V1_0
+    } else {
+        Version::V1_1
+    };
     let code: u16 = parts
         .next()
         .and_then(|c| c.parse().ok())
@@ -199,20 +251,30 @@ pub fn read_response(r: &mut impl BufRead, method: &Method, limits: &Limits) -> 
     };
     Ok(Response {
         status,
+        version,
         headers,
         body,
     })
 }
 
+/// Is this header one the serialiser owns? `Content-Length` is always
+/// recomputed from the actual body, and `Transfer-Encoding` is dropped:
+/// we frame every message with `Content-Length`, and forwarding a
+/// caller-set `Transfer-Encoding: chunked` alongside it would emit two
+/// conflicting framings of one message (request-smuggling territory).
+fn framing_header(name: &str) -> bool {
+    name.eq_ignore_ascii_case("content-length") || name.eq_ignore_ascii_case("transfer-encoding")
+}
+
 /// Serialise a request. A `Content-Length` header is always emitted so
-/// framing is unambiguous.
+/// framing is unambiguous; caller-set framing headers are stripped.
 pub fn write_request(w: &mut impl Write, req: &Request, host: &str) -> Result<()> {
     write!(w, "{} {} HTTP/1.1\r\n", req.method, req.target.encoded())?;
     if !req.headers.contains("Host") {
         write!(w, "Host: {host}\r\n")?;
     }
     for (n, v) in req.headers.iter() {
-        if n.eq_ignore_ascii_case("content-length") {
+        if framing_header(n) {
             continue;
         }
         write!(w, "{n}: {v}\r\n")?;
@@ -233,7 +295,7 @@ pub fn write_response(w: &mut impl Write, resp: &Response, head_only: bool) -> R
         resp.status.reason()
     )?;
     for (n, v) in resp.headers.iter() {
-        if n.eq_ignore_ascii_case("content-length") {
+        if framing_header(n) {
             continue;
         }
         write!(w, "{n}: {v}\r\n")?;
@@ -246,9 +308,14 @@ pub fn write_response(w: &mut impl Write, resp: &Response, head_only: bool) -> R
     Ok(())
 }
 
-/// Should the connection stay open after this exchange?
-pub fn keep_alive(headers: &Headers) -> bool {
-    !headers.has_token("Connection", "close")
+/// Should the connection stay open after this exchange? HTTP/1.1
+/// defaults to persistent unless `Connection: close`; HTTP/1.0 defaults
+/// to close unless the peer explicitly negotiated `keep-alive`.
+pub fn keep_alive(version: Version, headers: &Headers) -> bool {
+    match version {
+        Version::V1_1 => !headers.has_token("Connection", "close"),
+        Version::V1_0 => headers.has_token("Connection", "keep-alive"),
+    }
 }
 
 #[cfg(test)]
@@ -403,11 +470,81 @@ mod tests {
     #[test]
     fn keep_alive_decision() {
         let mut h = Headers::new();
-        assert!(keep_alive(&h));
+        assert!(keep_alive(Version::V1_1, &h));
         h.set("Connection", "close");
-        assert!(!keep_alive(&h));
+        assert!(!keep_alive(Version::V1_1, &h));
         h.set("Connection", "Keep-Alive");
-        assert!(keep_alive(&h));
+        assert!(keep_alive(Version::V1_1, &h));
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close() {
+        // An HTTP/1.0 peer that says nothing about the connection gets
+        // a close; only an explicit keep-alive holds it open.
+        let mut h = Headers::new();
+        assert!(!keep_alive(Version::V1_0, &h));
+        h.set("Connection", "keep-alive");
+        assert!(keep_alive(Version::V1_0, &h));
+        h.set("Connection", "close");
+        assert!(!keep_alive(Version::V1_0, &h));
+    }
+
+    #[test]
+    fn request_version_is_carried() {
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut cursor(raw), &Limits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.version, Version::V1_0);
+        let raw = b"GET / HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut cursor(raw), &Limits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.version, Version::V1_1);
+    }
+
+    #[test]
+    fn unparseable_content_length_is_rejected() {
+        // `unwrap_or(0)` here would leave the body on the stream to be
+        // parsed as the next request — a keep-alive desync.
+        let raw = b"PUT / HTTP/1.1\r\nContent-Length: banana\r\n\r\nGET /x HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut cursor(raw), &Limits::default()),
+            Err(Error::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_rejected_identical_coalesced() {
+        let raw = b"PUT / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello6";
+        assert!(matches!(
+            read_request(&mut cursor(raw), &Limits::default()),
+            Err(Error::Parse(_))
+        ));
+        // Repeated identical values are fine (RFC 7230 §3.3.2).
+        let raw = b"PUT / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut cursor(raw), &Limits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn caller_chunked_header_does_not_double_frame() {
+        // A caller-set Transfer-Encoding must not reach the wire next to
+        // the Content-Length the serialiser emits.
+        let req = Request::new(Method::Put, "/x")
+            .with_header("Transfer-Encoding", "chunked")
+            .with_body("abc");
+        let mut wire_bytes = Vec::new();
+        write_request(&mut wire_bytes, &req, "h").unwrap();
+        let text = String::from_utf8(wire_bytes.clone()).unwrap();
+        assert!(!text.to_ascii_lowercase().contains("transfer-encoding"));
+        assert!(text.contains("Content-Length: 3"));
+        let back = read_request(&mut cursor(&wire_bytes), &Limits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.body, b"abc");
     }
 
     #[test]

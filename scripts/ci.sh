@@ -2,7 +2,10 @@
 # CI gate for the workspace.
 #
 # 1. Tier-1 verify (see ROADMAP.md): release build + full test suite.
-# 2. Lint: clippy with warnings denied on the dependency-free crates
+# 2. Robustness suite: the fault-injection matrix must pass explicitly
+#    (it is part of the workspace tests too; the dedicated run makes a
+#    matrix failure unmissable in CI output).
+# 3. Lint: clippy with warnings denied on the dependency-free crates
 #    where we hold the bar at zero (pse-cache today). Skipped with a
 #    notice if the clippy component is not installed.
 set -euo pipefail
@@ -16,6 +19,9 @@ cargo test -q
 
 echo "==> workspace tests: cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> robustness suite (fault matrix): cargo test -q --test robustness"
+cargo test -q --test robustness
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> lint: cargo clippy -p pse-cache -- -D warnings"

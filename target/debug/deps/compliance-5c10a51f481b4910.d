@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compliance-5c10a51f481b4910.d: crates/dav/tests/compliance.rs
+
+/root/repo/target/debug/deps/compliance-5c10a51f481b4910: crates/dav/tests/compliance.rs
+
+crates/dav/tests/compliance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-c57698f5d9d348ce.d: crates/shim-crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-c57698f5d9d348ce.rmeta: crates/shim-crossbeam/src/lib.rs Cargo.toml
+
+crates/shim-crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

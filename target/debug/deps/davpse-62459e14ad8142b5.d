@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/davpse-62459e14ad8142b5.d: src/lib.rs
+
+/root/repo/target/debug/deps/davpse-62459e14ad8142b5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/davpse-b0643f4bbe2e1d51.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdavpse-b0643f4bbe2e1d51.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdavpse-b0643f4bbe2e1d51.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b76efa6fb0610426.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b76efa6fb0610426: tests/end_to_end.rs
+
+tests/end_to_end.rs:

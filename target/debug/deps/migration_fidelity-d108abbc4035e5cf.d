@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_fidelity-d108abbc4035e5cf.d: tests/migration_fidelity.rs
+
+/root/repo/target/debug/deps/migration_fidelity-d108abbc4035e5cf: tests/migration_fidelity.rs
+
+tests/migration_fidelity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-9cdaf9a9e79e39a3.d: crates/shim-parking-lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-9cdaf9a9e79e39a3.rmeta: crates/shim-parking-lot/src/lib.rs Cargo.toml
+
+crates/shim-parking-lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-59080231b6b7b5e4.d: crates/ecce/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-59080231b6b7b5e4: crates/ecce/tests/proptests.rs
+
+crates/ecce/tests/proptests.rs:

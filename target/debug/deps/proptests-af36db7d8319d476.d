@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-af36db7d8319d476.d: crates/http/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-af36db7d8319d476: crates/http/tests/proptests.rs
+
+crates/http/tests/proptests.rs:

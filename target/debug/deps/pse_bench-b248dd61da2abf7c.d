@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pse_bench-b248dd61da2abf7c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libpse_bench-b248dd61da2abf7c.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libpse_bench-b248dd61da2abf7c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/proxy.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pse_http-e992ee8449480bc8.d: crates/http/src/lib.rs crates/http/src/auth.rs crates/http/src/client.rs crates/http/src/error.rs crates/http/src/fault.rs crates/http/src/headers.rs crates/http/src/message.rs crates/http/src/method.rs crates/http/src/retry.rs crates/http/src/server.rs crates/http/src/status.rs crates/http/src/uri.rs crates/http/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpse_http-e992ee8449480bc8.rmeta: crates/http/src/lib.rs crates/http/src/auth.rs crates/http/src/client.rs crates/http/src/error.rs crates/http/src/fault.rs crates/http/src/headers.rs crates/http/src/message.rs crates/http/src/method.rs crates/http/src/retry.rs crates/http/src/server.rs crates/http/src/status.rs crates/http/src/uri.rs crates/http/src/wire.rs Cargo.toml
+
+crates/http/src/lib.rs:
+crates/http/src/auth.rs:
+crates/http/src/client.rs:
+crates/http/src/error.rs:
+crates/http/src/fault.rs:
+crates/http/src/headers.rs:
+crates/http/src/message.rs:
+crates/http/src/method.rs:
+crates/http/src/retry.rs:
+crates/http/src/server.rs:
+crates/http/src/status.rs:
+crates/http/src/uri.rs:
+crates/http/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-3e029afcbf3523bb.d: crates/shim-rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-3e029afcbf3523bb.rmeta: crates/shim-rand/src/lib.rs Cargo.toml
+
+crates/shim-rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablations-5259e0e04f731b36.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/debug/deps/repro_ablations-5259e0e04f731b36: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

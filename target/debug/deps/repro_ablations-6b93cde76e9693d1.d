@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablations-6b93cde76e9693d1.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/debug/deps/repro_ablations-6b93cde76e9693d1: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_faults-5eb5766b8845ce4a.d: crates/bench/src/bin/repro_faults.rs
+
+/root/repo/target/debug/deps/repro_faults-5eb5766b8845ce4a: crates/bench/src/bin/repro_faults.rs
+
+crates/bench/src/bin/repro_faults.rs:

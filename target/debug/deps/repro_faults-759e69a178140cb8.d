@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_faults-759e69a178140cb8.d: crates/bench/src/bin/repro_faults.rs
+
+/root/repo/target/debug/deps/repro_faults-759e69a178140cb8: crates/bench/src/bin/repro_faults.rs
+
+crates/bench/src/bin/repro_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-158b79b261eaeb88.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-158b79b261eaeb88: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

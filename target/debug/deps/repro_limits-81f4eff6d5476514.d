@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-81f4eff6d5476514.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-81f4eff6d5476514: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_migration-26e961f0fe26cb13.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/debug/deps/repro_migration-26e961f0fe26cb13: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_migration-8e48d215b7f9c440.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/debug/deps/repro_migration-8e48d215b7f9c440: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

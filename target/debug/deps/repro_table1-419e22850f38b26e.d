@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-419e22850f38b26e.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-419e22850f38b26e: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

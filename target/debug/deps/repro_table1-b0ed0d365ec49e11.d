@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-b0ed0d365ec49e11.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-b0ed0d365ec49e11: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

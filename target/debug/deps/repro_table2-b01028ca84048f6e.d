@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-b01028ca84048f6e.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-b01028ca84048f6e: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-fccc56d858489b1d.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-fccc56d858489b1d: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-3874a1d5f318857a.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-3874a1d5f318857a: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-cc3244def4916d60.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-cc3244def4916d60: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

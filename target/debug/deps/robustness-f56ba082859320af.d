@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-f56ba082859320af.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-f56ba082859320af: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chemistry_study-9af8ca98c4b8c866.d: examples/chemistry_study.rs
+
+/root/repo/target/debug/examples/chemistry_study-9af8ca98c4b8c866: examples/chemistry_study.rs
+
+examples/chemistry_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration-f08eb625a5cbd87f.d: examples/migration.rs
+
+/root/repo/target/debug/examples/migration-f08eb625a5cbd87f: examples/migration.rs
+
+examples/migration.rs:

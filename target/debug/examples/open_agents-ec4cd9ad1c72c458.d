@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_agents-ec4cd9ad1c72c458.d: examples/open_agents.rs
+
+/root/repo/target/debug/examples/open_agents-ec4cd9ad1c72c458: examples/open_agents.rs
+
+examples/open_agents.rs:

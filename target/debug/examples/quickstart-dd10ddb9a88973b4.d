@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dd10ddb9a88973b4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dd10ddb9a88973b4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/davpse-dcecf01fd2bc4ecc.d: src/lib.rs
+
+/root/repo/target/release/deps/libdavpse-dcecf01fd2bc4ecc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdavpse-dcecf01fd2bc4ecc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pse_bench-2c805e743dc0e5a1.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libpse_bench-2c805e743dc0e5a1.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libpse_bench-2c805e743dc0e5a1.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/proxy.rs:
+crates/bench/src/workloads.rs:

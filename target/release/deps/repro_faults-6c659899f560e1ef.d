@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_faults-6c659899f560e1ef.d: crates/bench/src/bin/repro_faults.rs
+
+/root/repo/target/release/deps/repro_faults-6c659899f560e1ef: crates/bench/src/bin/repro_faults.rs
+
+crates/bench/src/bin/repro_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_server-942be2020d859d1f.d: examples/_verify_server.rs
+
+/root/repo/target/release/examples/_verify_server-942be2020d859d1f: examples/_verify_server.rs
+
+examples/_verify_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a623f18115d5a096.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a623f18115d5a096: examples/quickstart.rs
+
+examples/quickstart.rs:
