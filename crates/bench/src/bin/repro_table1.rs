@@ -13,12 +13,13 @@
 //! * (e) COPY of the 4.5 MB hierarchy
 //! * (f) DELETE of the copy
 
-use pse_bench::harness::{measure_n, secs, Table};
-use pse_bench::workloads::{build_table1_dataset, dav_rig, meta, teardown};
+use pse_bench::harness::{emit_json, measure, measure_n, secs, Table};
+use pse_bench::workloads::{build_table1_dataset, dav_rig, dav_rig_obs, meta, teardown};
 use pse_dav::client::ParseMode;
 use pse_dav::property::PropertyName;
 use pse_dav::Depth;
 use pse_dbm::DbmKind;
+use pse_obs::Registry;
 
 const DOCS: usize = 50;
 const PROPS: usize = 50;
@@ -26,8 +27,51 @@ const VALUE_SIZE: usize = 1024;
 /// 50 KB of metadata per doc + 40 KB body ≈ the paper's 4.5 MB total.
 const BODY_SIZE: usize = 40 * 1024;
 
+/// `--obs-check`: measure instrumentation overhead by running a reduced
+/// Table 1 query mix against an instrumented server and a
+/// registry-disabled one. Prints `OBS_OVERHEAD_PCT <n>` and exits
+/// non-zero when the overhead exceeds 5% (with an absolute floor below
+/// which the CPU clock cannot distinguish the runs).
+fn obs_check() -> ! {
+    let run = |registry: Option<std::sync::Arc<Registry>>| -> f64 {
+        let mut rig = dav_rig_obs("table1-obscheck", DbmKind::Gdbm, registry);
+        build_table1_dataset(&mut rig.client, 20, 20, 256, 4096);
+        let selected: Vec<PropertyName> = (0..5).map(meta).collect();
+        let client = &mut rig.client;
+        let (_, m) = measure(|| {
+            for _ in 0..60 {
+                client.propfind_all("/t1/doc-00", Depth::Zero).unwrap();
+                client.propfind("/t1", Depth::One, &selected).unwrap();
+            }
+        });
+        teardown(rig);
+        m.elapsed_s()
+    };
+    // Best-of-3 on each side squeezes out scheduler noise.
+    let best = |reg: fn() -> Option<std::sync::Arc<Registry>>| {
+        (0..3).map(|_| run(reg())).fold(f64::MAX, f64::min)
+    };
+    let instrumented = best(|| None);
+    let baseline = best(|| Some(Registry::disabled()));
+    let pct = if baseline > 0.0 {
+        (instrumented - baseline) / baseline * 100.0
+    } else {
+        0.0
+    };
+    println!("OBS_OVERHEAD_PCT {pct:.2}");
+    println!("instrumented {instrumented:.4}s baseline {baseline:.4}s");
+    // Fail only on a real regression: both over the 5% bar and more
+    // than 30 ms absolute (the measurement floor on a busy machine).
+    let failed = pct > 5.0 && (instrumented - baseline) > 0.030;
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
-    let parse_mode = match std::env::args().nth(1).as_deref() {
+    let arg1 = std::env::args().nth(1);
+    if arg1.as_deref() == Some("--obs-check") {
+        obs_check();
+    }
+    let parse_mode = match arg1.as_deref() {
         Some("--dom") => ParseMode::Dom,
         _ => ParseMode::Sax,
     };
@@ -40,6 +84,11 @@ fn main() {
     build_table1_dataset(&mut rig.client, DOCS, PROPS, VALUE_SIZE, BODY_SIZE);
 
     let selected: Vec<PropertyName> = (0..5).map(meta).collect();
+    // Snapshot the shared registry so the emitted JSON carries the
+    // per-layer deltas attributable to the measured operations alone
+    // (dataset construction excluded).
+    let registry = rig.registry();
+    let obs_before = registry.snapshot();
     let client = &mut rig.client;
 
     // Iteration counts give the 10 ms CPU clock something to bite on.
@@ -105,5 +154,19 @@ fn main() {
          paper shape: (a),(b) fast; (c),(d) dominated by client-side parsing; \
          (d) > (c); (e),(f) server-side."
     );
+    let obs_delta = registry.snapshot().delta(&obs_before);
+    let json_path = emit_json(
+        "table1",
+        &[
+            ("a_all_metadata_1doc", a),
+            ("b_5_metadata_1doc", b),
+            ("c_5_metadata_50docs_depth1", c),
+            ("d_5_metadata_50docs_serial", d),
+            ("e_copy_hierarchy", e),
+            ("f_remove_hierarchy", f),
+        ],
+        Some(&obs_delta),
+    );
+    println!("results + per-layer registry deltas: {}", json_path.display());
     teardown(rig);
 }

@@ -150,6 +150,50 @@ pub fn full_scale() -> bool {
     std::env::var("PSE_SCALE").map(|v| v == "full").unwrap_or(false)
 }
 
+/// Write a machine-readable benchmark result: named measurements plus
+/// an optional metric-registry delta covering the measured interval, so
+/// per-layer counters (requests, cache hits, DBM page traffic) land
+/// next to the timings they explain.
+///
+/// The file goes to `$PSE_BENCH_JSON` when set, else
+/// `target/bench-json/<name>.json`. Returns the path written.
+pub fn emit_json(
+    name: &str,
+    rows: &[(&str, Measurement)],
+    obs_delta: Option<&pse_obs::Snapshot>,
+) -> std::path::PathBuf {
+    let path = match std::env::var_os("PSE_BENCH_JSON") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let dir = std::path::Path::new("target").join("bench-json");
+            let _ = std::fs::create_dir_all(&dir);
+            dir.join(format!("{name}.json"))
+        }
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": {},\n", pse_obs::json_string(name)));
+    out.push_str("  \"measurements\": [\n");
+    for (i, (n, m)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"elapsed_s\": {:.6}, \"cpu_s\": {:.6}}}{}\n",
+            pse_obs::json_string(n),
+            m.elapsed_s(),
+            m.cpu_s(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(d) = obs_delta {
+        out.push_str(",\n  \"obs_delta\": ");
+        out.push_str(&d.to_json());
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +216,31 @@ mod tests {
         let (v, m) = measure(|| 6 * 7);
         assert_eq!(v, 42);
         assert!(m.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn emit_json_includes_measurements_and_delta() {
+        let dir = std::env::temp_dir().join(format!("pse-bench-json-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let file = dir.join("out.json");
+        std::env::set_var("PSE_BENCH_JSON", &file);
+        let reg = pse_obs::Registry::new();
+        let before = reg.snapshot();
+        reg.counter("layer.ops").add(7);
+        let delta = reg.snapshot().delta(&before);
+        let m = Measurement {
+            elapsed: Duration::from_millis(12),
+            cpu: Duration::from_millis(3),
+        };
+        let path = emit_json("unit \"test\"", &[("op-a", m), ("op-b", m)], Some(&delta));
+        std::env::remove_var("PSE_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"unit \\\"test\\\"\""), "{text}");
+        assert!(text.contains("\"name\": \"op-a\""), "{text}");
+        assert!(text.contains("\"elapsed_s\": 0.012000"), "{text}");
+        assert!(text.contains("\"obs_delta\""), "{text}");
+        assert!(text.contains("\"layer.ops\":7"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

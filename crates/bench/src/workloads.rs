@@ -11,8 +11,10 @@ use pse_ecce::jobs::{self, RunnerConfig};
 use pse_ecce::model::{CalcState, Calculation, Project, RunType, Task, Theory};
 use pse_ecce::ECCE_NS;
 use pse_http::server::{Server, ServerConfig};
+use pse_obs::Registry;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static SCRATCH_N: AtomicU64 = AtomicU64::new(0);
 
@@ -39,6 +41,14 @@ pub struct DavRig {
 
 /// Start a DAV server on the loopback with the given DBM engine.
 pub fn dav_rig(tag: &str, kind: DbmKind) -> DavRig {
+    dav_rig_obs(tag, kind, None)
+}
+
+/// Like [`dav_rig`], with an explicit metric registry — pass
+/// `Registry::disabled()` for an instrumentation-free baseline run, or
+/// `None` for a fresh enabled registry (reachable via
+/// [`DavRig::registry`]).
+pub fn dav_rig_obs(tag: &str, kind: DbmKind, registry: Option<Arc<Registry>>) -> DavRig {
     let dir = scratch_dir(tag);
     let repo = FsRepository::create(
         &dir,
@@ -48,9 +58,13 @@ pub fn dav_rig(tag: &str, kind: DbmKind) -> DavRig {
         },
     )
     .unwrap();
+    let handler = match registry {
+        Some(r) => DavHandler::with_registry(repo, r),
+        None => DavHandler::new(repo),
+    };
     // The paper's server configuration: persistent connections, 100
     // requests per connection, 15 s keep-alive, 5 daemons.
-    let server = serve("127.0.0.1:0", ServerConfig::default(), DavHandler::new(repo)).unwrap();
+    let server = serve("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
     let mut client = DavClient::connect(server.local_addr()).unwrap();
     // Bulk workloads ship >100 MB bodies in full-scale mode.
     client.http().set_limits(pse_http::wire::Limits {
@@ -61,6 +75,13 @@ pub fn dav_rig(tag: &str, kind: DbmKind) -> DavRig {
         server,
         client,
         dir,
+    }
+}
+
+impl DavRig {
+    /// The registry every layer of this rig records into.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.server.registry()
     }
 }
 

@@ -26,7 +26,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 /// FNV-1a over a byte slice; used for shard selection and by callers
@@ -372,9 +372,62 @@ where
     }
 }
 
+impl<K, V> ShardedCache<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Contribute this cache's statistics to a metric registry under
+    /// `prefix` (e.g. `dav.prop_cache`): the [`CacheStats`] counters
+    /// plus entry-count and byte gauges. The registry holds only a
+    /// [`Weak`] reference, so a registered cache can still be dropped;
+    /// its metrics simply stop updating at their last values.
+    pub fn register_obs(self: &Arc<Self>, registry: &Arc<pse_obs::Registry>, prefix: &str) {
+        let weak: Weak<Self> = Arc::downgrade(self);
+        let prefix = prefix.to_string();
+        registry.register_source(&prefix.clone(), move |snap| {
+            let Some(cache) = weak.upgrade() else { return };
+            let s = cache.stats();
+            snap.set_counter(&format!("{prefix}.hits"), s.hits);
+            snap.set_counter(&format!("{prefix}.misses"), s.misses);
+            snap.set_counter(&format!("{prefix}.insertions"), s.insertions);
+            snap.set_counter(&format!("{prefix}.evictions"), s.evictions);
+            snap.set_counter(&format!("{prefix}.invalidations"), s.invalidations);
+            snap.set_counter(&format!("{prefix}.expirations"), s.expirations);
+            snap.set_gauge(&format!("{prefix}.entries"), cache.len() as i64);
+            snap.set_gauge(&format!("{prefix}.bytes"), cache.bytes() as i64);
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn register_obs_exports_stats_through_weak_ref() {
+        let c: Arc<ShardedCache<String, Vec<u8>>> = Arc::new(ShardedCache::new(CacheConfig {
+            capacity_bytes: 1 << 20,
+            shards: 2,
+            ttl: None,
+        }));
+        let reg = pse_obs::Registry::new();
+        c.register_obs(&reg, "test.cache");
+        c.insert("k".to_string(), vec![1, 2, 3], 3);
+        assert!(c.get(&"k".to_string()).is_some());
+        assert!(c.get(&"absent".to_string()).is_none());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test.cache.hits"), 1);
+        assert_eq!(snap.counter("test.cache.misses"), 1);
+        assert_eq!(snap.counter("test.cache.insertions"), 1);
+        assert_eq!(snap.gauge("test.cache.entries"), 1);
+        assert!(snap.gauge("test.cache.bytes") > 0);
+        // Dropping the cache must not wedge the registry: the source
+        // upgrades its Weak, finds nothing, and contributes nothing.
+        drop(c);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test.cache.hits"), 0);
+    }
 
     fn cache(bytes: usize) -> ShardedCache<String, Vec<u8>> {
         ShardedCache::new(CacheConfig {

@@ -111,8 +111,10 @@ pub struct FsRepository {
     /// mod_dav relied on per-file flock; a single mutex gives the same
     /// observable semantics for an embedded server.
     guard: Mutex<()>,
-    /// Property snapshots keyed by normalized DAV path.
-    prop_cache: ShardedCache<String, Arc<PropSnapshot>>,
+    /// Property snapshots keyed by normalized DAV path. `Arc` so the
+    /// cache can contribute its stats to a metric registry via a weak
+    /// reference without tying the registry's lifetime to the repo's.
+    prop_cache: Arc<ShardedCache<String, Arc<PropSnapshot>>>,
 }
 
 impl FsRepository {
@@ -120,9 +122,9 @@ impl FsRepository {
     pub fn create(root: impl AsRef<Path>, config: FsConfig) -> Result<FsRepository> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
-        let prop_cache = ShardedCache::new(CacheConfig::with_capacity(
+        let prop_cache = Arc::new(ShardedCache::new(CacheConfig::with_capacity(
             config.property_cache_bytes,
-        ));
+        )));
         Ok(FsRepository {
             root,
             config,
@@ -324,6 +326,30 @@ impl FsRepository {
 }
 
 impl Repository for FsRepository {
+    fn register_obs(&self, registry: &Arc<pse_obs::Registry>) {
+        // Property-cache hit/miss/eviction traffic under `dav.prop_cache.*`.
+        self.prop_cache.register_obs(registry, "dav.prop_cache");
+        // The DBM engines keep process-wide statics (handles are opened
+        // and closed per operation); map them in as `dbm.*`.
+        registry.register_source("dbm", |snap| {
+            use std::sync::atomic::Ordering;
+            snap.set_counter(
+                "dbm.page_reads",
+                pse_dbm::obs::PAGE_READS.load(Ordering::Relaxed),
+            );
+            snap.set_counter(
+                "dbm.page_writes",
+                pse_dbm::obs::PAGE_WRITES.load(Ordering::Relaxed),
+            );
+            snap.set_counter("dbm.splits", pse_dbm::obs::SPLITS.load(Ordering::Relaxed));
+            // Occupancy as parts-per-thousand (gauges are integers).
+            snap.set_gauge(
+                "dbm.write_occupancy_permille",
+                (pse_dbm::obs::mean_write_occupancy() * 1000.0) as i64,
+            );
+        });
+    }
+
     fn exists(&self, path: &str) -> bool {
         self.fs_path(path).exists()
     }

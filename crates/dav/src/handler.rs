@@ -17,6 +17,7 @@ use crate::repo::Repository;
 use crate::search;
 use crate::version::VersionStore;
 use pse_http::{Method, Request, Response, StatusCode};
+use pse_obs::Registry;
 use pse_xml::dom::{Document, Element};
 use pse_xml::writer::Writer;
 use std::sync::Arc;
@@ -28,6 +29,7 @@ pub struct DavHandler<R: Repository> {
     repo: Arc<R>,
     locks: Arc<LockManager>,
     versions: Arc<VersionStore>,
+    obs: Arc<Registry>,
 }
 
 impl<R: Repository> Clone for DavHandler<R> {
@@ -36,17 +38,28 @@ impl<R: Repository> Clone for DavHandler<R> {
             repo: Arc::clone(&self.repo),
             locks: Arc::clone(&self.locks),
             versions: Arc::clone(&self.versions),
+            obs: Arc::clone(&self.obs),
         }
     }
 }
 
 impl<R: Repository> DavHandler<R> {
-    /// Wrap a repository.
+    /// Wrap a repository, recording metrics into a fresh registry.
     pub fn new(repo: R) -> DavHandler<R> {
+        Self::with_registry(repo, Registry::new())
+    }
+
+    /// Wrap a repository, recording metrics into `registry`. The
+    /// repository is given the chance to contribute its own stats
+    /// (property cache, DBM engines) via [`Repository::register_obs`].
+    pub fn with_registry(repo: R, registry: Arc<Registry>) -> DavHandler<R> {
+        let repo = Arc::new(repo);
+        repo.register_obs(&registry);
         DavHandler {
-            repo: Arc::new(repo),
+            repo,
             locks: Arc::new(LockManager::new()),
             versions: Arc::new(VersionStore::new()),
+            obs: registry,
         }
     }
 
@@ -60,9 +73,46 @@ impl<R: Repository> DavHandler<R> {
         Arc::clone(&self.locks)
     }
 
+    /// The metric registry this handler records into.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.obs)
+    }
+
     /// Dispatch one request. Never panics; protocol errors become status
     /// codes.
     pub fn handle(&self, req: Request) -> Response {
+        let timer = if self.obs.is_enabled() {
+            Some(
+                self.obs
+                    .histogram(&format!(
+                        "dav.latency_us.{}",
+                        req.method.as_str().to_ascii_lowercase()
+                    ))
+                    .start_timer(),
+            )
+        } else {
+            None
+        };
+        let resp = self.dispatch(req);
+        drop(timer);
+        if self.obs.is_enabled() {
+            // Interesting DAV-level outcomes: precondition misses and
+            // lock conflicts point at contention; multistatus sizes show
+            // how much metadata each PROPFIND moves.
+            match resp.status.code() {
+                412 => self.obs.counter("dav.precondition_failures").inc(),
+                423 => self.obs.counter("dav.lock_conflicts").inc(),
+                207 => self
+                    .obs
+                    .histogram_with("dav.multistatus_bytes", pse_obs::SIZE_BUCKETS_BYTES)
+                    .observe(resp.body.len() as u64),
+                _ => {}
+            }
+        }
+        resp
+    }
+
+    fn dispatch(&self, req: Request) -> Response {
         let result = match req.method {
             Method::Options => self.options(&req),
             Method::Get => self.get(&req, false),

@@ -123,6 +123,29 @@ impl Multistatus {
         Writer::new().write_document(&Document::with_root(root))
     }
 
+    /// Decode a `DAV:href` element's text into a local path. RFC 2518
+    /// §12.3 allows servers to answer with either an absolute URI
+    /// (`http://host:port/path`) or an absolute path (`/path`); mod_dav
+    /// emits the latter but other servers emit the former, so the
+    /// scheme and authority are stripped before percent-decoding. The
+    /// path is *not* normalised: a trailing slash distinguishes a
+    /// collection from a member and must survive.
+    fn decode_href(raw: &str) -> String {
+        let raw = raw.trim();
+        let path = if raw.starts_with('/') {
+            raw
+        } else if let Some(i) = raw.find("://") {
+            let rest = &raw[i + 3..];
+            match rest.find(['/', '?']) {
+                Some(j) => &rest[j..],
+                None => "/",
+            }
+        } else {
+            raw
+        };
+        pse_http::uri::percent_decode(path)
+    }
+
     /// Parse via the DOM: build the whole tree, then walk it.
     pub fn parse_dom(xml: &str) -> Result<Multistatus> {
         let doc = Document::parse(xml)?;
@@ -133,7 +156,7 @@ impl Multistatus {
                 .child(Some(DAV_NS), "href")
                 .map(|h| h.text())
                 .unwrap_or_default();
-            let href = pse_http::uri::percent_decode(href_raw.trim());
+            let href = Self::decode_href(&href_raw);
             let mut propstats = Vec::new();
             for ps in resp.children_named(Some(DAV_NS), "propstat") {
                 let status = ps
@@ -223,7 +246,7 @@ impl Multistatus {
                     ns.pop_scope();
                     match name.local.as_str() {
                         "href" if in_response => {
-                            cur_href = pse_http::uri::percent_decode(text_buf.trim());
+                            cur_href = Multistatus::decode_href(&text_buf);
                         }
                         "status" => {
                             let sc = StatusCode::from_status_line(text_buf.trim());
@@ -417,6 +440,51 @@ mod tests {
         assert!(xml.contains("/with%20space/and%23hash"), "{xml}");
         let back = Multistatus::parse_sax(&xml).unwrap();
         assert_eq!(back.responses[0].href, "/with space/and#hash");
+    }
+
+    #[test]
+    fn absolute_uri_hrefs_are_accepted() {
+        // RFC 2518 §12.3: a server may identify resources with absolute
+        // URIs rather than absolute paths. Both must parse to the same
+        // local path, in both parse modes.
+        let xml = r#"<?xml version="1.0"?>
+            <D:multistatus xmlns:D="DAV:">
+              <D:response>
+                <D:href>http://dav.emsl.pnl.gov:8080/calc/dir/</D:href>
+                <D:status>HTTP/1.1 200 OK</D:status>
+              </D:response>
+              <D:response>
+                <D:href>https://host/with%20space</D:href>
+                <D:status>HTTP/1.1 200 OK</D:status>
+              </D:response>
+              <D:response>
+                <D:href>http://bare-authority</D:href>
+                <D:status>HTTP/1.1 200 OK</D:status>
+              </D:response>
+            </D:multistatus>"#;
+        for parse in [Multistatus::parse_dom, Multistatus::parse_sax] {
+            let ms = parse(xml).unwrap();
+            // The collection's trailing slash survives the strip.
+            assert_eq!(ms.responses[0].href, "/calc/dir/");
+            assert_eq!(ms.responses[1].href, "/with space");
+            // An authority with no path means the root.
+            assert_eq!(ms.responses[2].href, "/");
+            assert!(ms.response_for("/calc/dir/").is_some());
+        }
+    }
+
+    #[test]
+    fn absolute_path_hrefs_still_parse_unchanged() {
+        let xml = r#"<?xml version="1.0"?>
+            <D:multistatus xmlns:D="DAV:">
+              <D:response>
+                <D:href>/plain/path</D:href>
+                <D:status>HTTP/1.1 200 OK</D:status>
+              </D:response>
+            </D:multistatus>"#;
+        for parse in [Multistatus::parse_dom, Multistatus::parse_sax] {
+            assert_eq!(parse(xml).unwrap().responses[0].href, "/plain/path");
+        }
     }
 
     #[test]

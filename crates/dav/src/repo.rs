@@ -41,6 +41,11 @@ impl ResourceMeta {
 /// handle their own synchronisation (the server calls from many worker
 /// threads).
 pub trait Repository: Send + Sync + 'static {
+    /// Contribute repository-level statistics (caches, storage engines)
+    /// to a metric registry. Called once when the repository is wrapped
+    /// by a `DavHandler`; the default contributes nothing.
+    fn register_obs(&self, _registry: &std::sync::Arc<pse_obs::Registry>) {}
+
     /// Does a resource exist at `path`?
     fn exists(&self, path: &str) -> bool;
 

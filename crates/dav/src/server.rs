@@ -9,17 +9,26 @@ use std::net::ToSocketAddrs;
 /// Serve a DAV handler on `addr` with the given connection management
 /// configuration. The returned [`Server`] owns the worker pool; call
 /// [`Server::shutdown`] to stop it.
-pub fn serve<A, R>(addr: A, config: ServerConfig, handler: DavHandler<R>) -> Result<Server>
+///
+/// Unless the config already names a registry, the HTTP server records
+/// into the handler's, so `GET /.well-known/metrics` exposes every
+/// layer — transport, DAV dispatch, property cache, storage engines —
+/// in one scrape.
+pub fn serve<A, R>(addr: A, mut config: ServerConfig, handler: DavHandler<R>) -> Result<Server>
 where
     A: ToSocketAddrs,
     R: Repository,
 {
+    if config.obs.is_none() {
+        config.obs = Some(handler.registry());
+    }
     Ok(Server::bind(addr, config, move |req| handler.handle(req))?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fsrepo::{FsConfig, FsRepository};
     use crate::memrepo::MemRepository;
     use pse_http::{Client, Method, Request};
 
@@ -44,5 +53,60 @@ mod tests {
         assert_eq!(resp.status.code(), 207);
         assert!(resp.body_text().contains("multistatus"));
         srv.shutdown();
+    }
+
+    #[test]
+    fn metrics_scrape_covers_every_layer() {
+        // One scrape of /.well-known/metrics must surface the transport
+        // (http.*), dispatch (dav.*), property cache (dav.prop_cache.*)
+        // and storage engine (dbm.*) in a single exposition.
+        let dir = std::env::temp_dir().join(format!("pse-dav-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let repo = FsRepository::create(&dir, FsConfig::default()).unwrap();
+        let srv = serve(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            DavHandler::new(repo),
+        )
+        .unwrap();
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        assert_eq!(
+            c.send(Request::new(Method::MkCol, "/proj")).unwrap().status.code(),
+            201
+        );
+        assert_eq!(c.put("/proj/doc", "hello").unwrap().status.code(), 201);
+        let patch = r#"<?xml version="1.0"?>
+            <D:propertyupdate xmlns:D="DAV:" xmlns:e="urn:ecce">
+              <D:set><D:prop><e:formula>H2O</e:formula></D:prop></D:set>
+            </D:propertyupdate>"#;
+        assert_eq!(
+            c.send(Request::new(Method::PropPatch, "/proj/doc").with_body(patch))
+                .unwrap()
+                .status
+                .code(),
+            207
+        );
+        // Two PROPFINDs: the second is served from the property cache.
+        for _ in 0..2 {
+            let resp = c
+                .send(Request::new(Method::PropFind, "/proj/doc").with_header("Depth", "0"))
+                .unwrap();
+            assert_eq!(resp.status.code(), 207);
+        }
+        let text = c.get(pse_http::server::METRICS_PATH).unwrap().body_text();
+        use pse_obs::parse_text_metric as metric;
+        // Transport layer.
+        assert_eq!(metric(&text, "http.requests.propfind"), Some(2), "{text}");
+        assert!(metric(&text, "http.bytes_out").unwrap() > 0);
+        // DAV dispatch layer.
+        assert_eq!(metric(&text, "dav.latency_us.propfind"), Some(2), "{text}");
+        assert!(metric(&text, "dav.multistatus_bytes").unwrap() >= 3, "{text}");
+        // Property cache (PR-1 stats, now on the shared registry).
+        assert!(metric(&text, "dav.prop_cache.hits").unwrap() >= 1, "{text}");
+        assert!(metric(&text, "dav.prop_cache.misses").unwrap() >= 1, "{text}");
+        // Storage engine statics.
+        assert!(metric(&text, "dbm.page_writes").unwrap() >= 1, "{text}");
+        srv.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

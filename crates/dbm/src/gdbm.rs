@@ -216,12 +216,16 @@ impl Gdbm {
         let mut buf = vec![0u8; BUCKET_SIZE as usize];
         self.file.seek(SeekFrom::Start(off))?;
         self.file.read_exact(&mut buf)?;
+        crate::obs::record_page_read();
         Bucket::decode(&buf)
     }
 
     fn write_bucket(&mut self, off: u64, bucket: &Bucket) -> Result<()> {
         self.file.seek(SeekFrom::Start(off))?;
         self.file.write_all(&bucket.encode())?;
+        // Occupancy numerator: the 16-byte header plus the live entry
+        // table (records live outside the bucket in GDBM's layout).
+        crate::obs::record_page_write(16 + bucket.entries.len() as u64 * 24, BUCKET_SIZE);
         Ok(())
     }
 
@@ -271,6 +275,7 @@ impl Gdbm {
             let at = self.alloc(self.directory.len() as u64 * 8);
             self.write_directory(at)?;
         }
+        crate::obs::record_split();
         let new_depth = bucket.local_depth + 1;
         let split_bit = 1u32 << (new_depth - 1);
         let (ones, zeros): (Vec<Entry>, Vec<Entry>) = bucket

@@ -35,6 +35,7 @@
 pub mod api;
 pub mod error;
 pub mod gdbm;
+pub mod obs;
 pub mod sdbm;
 pub mod stats;
 

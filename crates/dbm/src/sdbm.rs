@@ -139,6 +139,7 @@ impl Sdbm {
             self.pag.seek(SeekFrom::Start(off))?;
             let avail = ((len - off) as usize).min(PBLKSIZ);
             self.pag.read_exact(&mut self.cur_page[..avail])?;
+            crate::obs::record_page_read();
         }
         self.cur_pagno = Some(pagno);
         self.cur_dirty = false;
@@ -149,6 +150,7 @@ impl Sdbm {
         if let (Some(pagno), true) = (self.cur_pagno, self.cur_dirty) {
             self.pag.seek(SeekFrom::Start(pagno * PBLKSIZ as u64))?;
             self.pag.write_all(&self.cur_page)?;
+            crate::obs::record_page_write(Self::live_bytes(&self.cur_page), PBLKSIZ as u64);
             self.cur_dirty = false;
         }
         Ok(())
@@ -157,7 +159,20 @@ impl Sdbm {
     fn write_other_page(&mut self, pagno: u64, content: &[u8]) -> Result<()> {
         self.pag.seek(SeekFrom::Start(pagno * PBLKSIZ as u64))?;
         self.pag.write_all(content)?;
+        crate::obs::record_page_write(Self::live_bytes(content), PBLKSIZ as u64);
         Ok(())
+    }
+
+    /// Bytes of a page holding the slot index and live pair data (the
+    /// occupancy numerator for `dbm.*` metrics).
+    fn live_bytes(page: &[u8]) -> u64 {
+        let ino = |i: usize| u16::from_le_bytes([page[2 * i], page[2 * i + 1]]) as usize;
+        let n = ino(0);
+        if n == 0 || 2 * (n + 1) > PBLKSIZ {
+            return 2;
+        }
+        let top = ino(n); // lowest data offset = last pair's value offset
+        ((PBLKSIZ - top) + 2 * (n + 1)) as u64
     }
 
     // ---- pair-level helpers on the cached page ----
@@ -216,6 +231,7 @@ impl Sdbm {
             .partition(|(k, _)| sdbm_hash(k) & sbit != 0);
         let new_page = Self::encode(&go);
         self.write_other_page(newp, &new_page)?;
+        crate::obs::record_split();
         Ok(stay)
     }
 

@@ -20,10 +20,12 @@ use crate::message::{Request, Response};
 use crate::method::Method;
 use crate::retry::RetryPolicy;
 use crate::wire::{self, Limits};
+use pse_obs::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
@@ -53,6 +55,28 @@ pub struct Client {
     connects: u64,
     /// Number of re-send attempts made after a transport failure.
     retries: u64,
+    /// Resolved retry-path metrics (no-ops until [`Client::set_registry`]).
+    obs: ClientObs,
+}
+
+/// Counters the retry loop records into, resolved once per registry so
+/// the hot path never takes the registry lock.
+struct ClientObs {
+    attempts: Counter,
+    retries: Counter,
+    backoff_sleeps: Counter,
+    maybe_executed: Counter,
+}
+
+impl ClientObs {
+    fn resolve(registry: &Arc<Registry>) -> ClientObs {
+        ClientObs {
+            attempts: registry.counter("http.client.attempts"),
+            retries: registry.counter("http.client.retries"),
+            backoff_sleeps: registry.counter("http.client.backoff_sleeps"),
+            maybe_executed: registry.counter("http.client.maybe_executed"),
+        }
+    }
 }
 
 impl Client {
@@ -75,9 +99,15 @@ impl Client {
             retry,
             connects: 0,
             retries: 0,
+            obs: ClientObs::resolve(&Registry::disabled()),
         };
         c.ensure_connected()?;
         Ok(c)
+    }
+
+    /// Record retry-path metrics (`http.client.*`) into `registry`.
+    pub fn set_registry(&mut self, registry: &Arc<Registry>) {
+        self.obs = ClientObs::resolve(registry);
     }
 
     /// Attach basic-auth credentials sent with every request.
@@ -152,6 +182,7 @@ impl Client {
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
+            self.obs.attempts.inc();
             // A reused connection may have died since the last exchange
             // (keep-alive timeout, server restart). Readable-or-EOF before
             // we have sent anything means it is unusable: discard it *now*
@@ -173,6 +204,7 @@ impl Client {
                 // Bytes (possibly all of them) reached the wire and the
                 // method is not safe to repeat: the server may have
                 // executed it. Surface the ambiguity to the caller.
+                self.obs.maybe_executed.inc();
                 return Err(Error::MaybeExecuted {
                     method: req.method.to_string(),
                     cause: Box::new(err),
@@ -194,7 +226,9 @@ impl Client {
                 }
             }
             self.retries += 1;
+            self.obs.retries.inc();
             if !pause.is_zero() {
+                self.obs.backoff_sleeps.inc();
                 thread::sleep(pause);
             }
         }
@@ -375,6 +409,36 @@ mod tests {
             other => panic!("expected RetriesExhausted, got {other:?}"),
         }
         assert_eq!(c.retry_count(), 2);
+    }
+
+    #[test]
+    fn client_metrics_record_attempts_retries_and_sleeps() {
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let s = server();
+        let reg = Registry::new();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        c.set_registry(&reg);
+        c.get("/warm").unwrap();
+        s.shutdown();
+        c.addr = addr;
+        c.stream = None;
+        c.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            deadline: Some(Duration::from_secs(5)),
+            ..RetryPolicy::default()
+        });
+        assert!(c.get("/").is_err());
+        let snap = reg.snapshot();
+        // 1 successful attempt + 3 failed ones.
+        assert_eq!(snap.counter("http.client.attempts"), 4);
+        assert_eq!(snap.counter("http.client.retries"), 2);
+        assert_eq!(snap.counter("http.client.backoff_sleeps"), 2);
+        assert_eq!(snap.counter("http.client.maybe_executed"), 0);
     }
 
     #[test]

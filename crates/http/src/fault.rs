@@ -507,7 +507,6 @@ mod tests {
     use super::*;
     use crate::client::Client;
     use crate::message::{Request, Response};
-    use crate::method::Method;
     use crate::retry::RetryPolicy;
     use crate::server::{Server, ServerConfig};
 

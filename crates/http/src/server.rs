@@ -4,9 +4,18 @@
 //! to accept persistent connections with limits of 100 connections per
 //! minute, 15 seconds between requests, and a minimum of 5 daemons".
 //! [`ServerConfig`] exposes exactly those knobs: a worker-pool floor
-//! (`min_daemons`), a per-connection request budget
+//! (`min_daemons`) and ceiling (`max_daemons`, Apache's spare-daemon
+//! model), a per-connection request budget
 //! (`max_requests_per_connection`), and an inter-request keep-alive
-//! timeout (`keep_alive_timeout`).
+//! timeout (`keep_alive_timeout`) kept separate from the in-request
+//! body read deadline (`body_read_timeout`).
+//!
+//! Every server records into a [`pse_obs::Registry`] (its own, or one
+//! shared through [`ServerConfig::obs`]): per-method request counters,
+//! status-class counters, a request latency histogram, queue/connection
+//! gauges, byte counters, and a trace ring. The registry is exposed in
+//! plain text at the reserved `GET /.well-known/metrics` endpoint,
+//! served before authentication and dispatch.
 //!
 //! Handlers are plain `Fn(Request) -> Response` values; the DAV layer
 //! plugs its method dispatcher in here.
@@ -17,21 +26,34 @@ use crate::message::{Request, Response};
 use crate::method::Method;
 use crate::status::StatusCode;
 use crate::wire::{self, Limits};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
+use pse_obs::{Registry, TraceEvent};
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The reserved metrics path, answered before auth and dispatch.
+pub const METRICS_PATH: &str = "/.well-known/metrics";
 
 /// Connection-management configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads accepting queued connections — the paper's
-    /// "minimum of 5 daemons".
+    /// Resident worker threads accepting queued connections — the
+    /// paper's "minimum of 5 daemons". Each serves one connection to
+    /// completion.
     pub min_daemons: usize,
+    /// Worker-pool ceiling. When every resident worker is pinned by a
+    /// persistent connection and fresh connections are queueing,
+    /// overflow workers are spawned up to this total and retire once
+    /// the queue drains — without this, `min_daemons` idle keep-alive
+    /// clients starve every new client for up to the keep-alive
+    /// timeout.
+    pub max_daemons: usize,
     /// Requests served on one persistent connection before it is closed —
     /// the paper's "100 connections per minute" budget analogue
     /// (Apache's `MaxKeepAliveRequests 100`).
@@ -39,21 +61,33 @@ pub struct ServerConfig {
     /// How long to wait between requests on a persistent connection —
     /// the paper's "15 seconds between requests" (`KeepAliveTimeout 15`).
     pub keep_alive_timeout: Duration,
+    /// Read deadline applied from the moment a request line arrives
+    /// until its body has been read. Kept separate from (and longer
+    /// than) `keep_alive_timeout`: a client pausing mid-upload is slow,
+    /// not idle.
+    pub body_read_timeout: Duration,
     /// Wire-format limits (header sizes, body cap).
     pub limits: Limits,
     /// Optional basic-auth user store; when set, every request must
     /// authenticate or receives `401` with a challenge.
     pub auth: Option<UserStore>,
+    /// Metric registry to record into. `None` means the server creates
+    /// its own (reachable via [`Server::registry`]); pass a shared one
+    /// to combine layers (the DAV server shares its handler's).
+    pub obs: Option<Arc<Registry>>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             min_daemons: 5,
+            max_daemons: 64,
             max_requests_per_connection: 100,
             keep_alive_timeout: Duration::from_secs(15),
+            body_read_timeout: Duration::from_secs(120),
             limits: Limits::default(),
             auth: None,
+            obs: None,
         }
     }
 }
@@ -69,24 +103,52 @@ pub struct ServerStats {
     pub auth_failures: AtomicU64,
 }
 
+/// Worker-pool bookkeeping, exported as gauges through the registry.
+#[derive(Debug, Default)]
+struct PoolState {
+    /// Accepted connections waiting for a worker (signed to tolerate
+    /// the add/sub race around the channel without wrapping).
+    queued: AtomicI64,
+    /// Resident workers blocked waiting for work.
+    idle: AtomicUsize,
+    /// All live workers, resident and overflow.
+    total: AtomicUsize,
+    /// Workers currently inside a connection.
+    active: AtomicUsize,
+}
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    rx: Receiver<TcpStream>,
+    handler: Box<dyn Fn(Request) -> Response + Send + Sync>,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    /// Live connections keyed by a serial id, force-closed on shutdown so
+    /// keep-alive reads do not hold the process for the full
+    /// inter-request timeout. Entries are removed (closing the duplicate
+    /// descriptor) as soon as their connection finishes.
+    live: Mutex<HashMap<u64, TcpStream>>,
+    conn_serial: AtomicU64,
+    pool: Arc<PoolState>,
+    obs: Arc<Registry>,
+    /// Join handles for every spawned worker, resident and overflow.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
 /// A running HTTP server. Dropping the handle does *not* stop the server;
 /// call [`Server::shutdown`].
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
     stats: Arc<ServerStats>,
-    /// Live connections keyed by a serial id, force-closed on shutdown so
-    /// keep-alive reads do not hold the process for the full
-    /// inter-request timeout. Entries are removed (closing the duplicate
-    /// descriptor) as soon as their connection finishes.
-    live: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>,
 }
 
 impl Server {
     /// Bind to `addr` and serve `handler` on a pool of
-    /// `config.min_daemons` worker threads.
+    /// `config.min_daemons` resident workers, growing under load to
+    /// `config.max_daemons`.
     pub fn bind<A, H>(addr: A, config: ServerConfig, handler: H) -> Result<Server>
     where
         A: ToSocketAddrs,
@@ -96,36 +158,44 @@ impl Server {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let handler: Arc<dyn Fn(Request) -> Response + Send + Sync> = Arc::new(handler);
-        let config = Arc::new(config);
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = unbounded();
+        let obs = config.obs.clone().unwrap_or_else(Registry::new);
+        let (tx, rx) = unbounded::<TcpStream>();
 
-        let live: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>> =
-            Arc::new(Mutex::new(std::collections::HashMap::new()));
-        let conn_serial = Arc::new(AtomicU64::new(0));
-        let mut workers = Vec::with_capacity(config.min_daemons);
-        for _ in 0..config.min_daemons.max(1) {
-            let rx = rx.clone();
-            let handler = Arc::clone(&handler);
-            let config = Arc::clone(&config);
-            let stats = Arc::clone(&stats);
-            let live = Arc::clone(&live);
-            let conn_serial = Arc::clone(&conn_serial);
-            workers.push(std::thread::spawn(move || {
-                while let Ok(stream) = rx.recv() {
-                    let id = conn_serial.fetch_add(1, Ordering::Relaxed);
-                    if let Ok(clone) = stream.try_clone() {
-                        live.lock().insert(id, clone);
-                    }
-                    let _ = serve_connection(stream, &config, handler.as_ref(), &stats);
-                    // Drop the duplicate descriptor so the peer sees EOF.
-                    live.lock().remove(&id);
-                }
-            }));
+        let pool = Arc::new(PoolState::default());
+        let shared = Arc::new(Shared {
+            rx,
+            handler: Box::new(handler),
+            config,
+            stats: Arc::clone(&stats),
+            live: Mutex::new(HashMap::new()),
+            conn_serial: AtomicU64::new(0),
+            pool: Arc::clone(&pool),
+            obs: Arc::clone(&obs),
+            workers: Mutex::new(Vec::new()),
+        });
+
+        // Pool gauges are read straight off the atomics at snapshot
+        // time. The source captures only the pool state, not `Shared`,
+        // so no reference cycle through the registry forms.
+        obs.register_source("http.pool", move |snap| {
+            snap.set_gauge(
+                "http.accept_queue_depth",
+                pool.queued.load(Ordering::Relaxed),
+            );
+            snap.set_gauge(
+                "http.active_connections",
+                pool.active.load(Ordering::Relaxed) as i64,
+            );
+            snap.set_gauge("http.workers_total", pool.total.load(Ordering::Relaxed) as i64);
+            snap.set_gauge("http.workers_idle", pool.idle.load(Ordering::Relaxed) as i64);
+        });
+
+        for _ in 0..shared.config.min_daemons.max(1) {
+            spawn_worker(&shared, true);
         }
 
         let accept_stop = Arc::clone(&stop);
-        let accept_stats = Arc::clone(&stats);
+        let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
@@ -133,11 +203,13 @@ impl Server {
                 }
                 match stream {
                     Ok(s) => {
-                        accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                        accept_shared.stats.connections.fetch_add(1, Ordering::Relaxed);
                         let _ = s.set_nodelay(true);
+                        accept_shared.pool.queued.fetch_add(1, Ordering::Relaxed);
                         if tx.send(s).is_err() {
                             break;
                         }
+                        maybe_spawn_overflow(&accept_shared);
                     }
                     Err(_) => continue,
                 }
@@ -149,9 +221,8 @@ impl Server {
             addr: local,
             stop,
             accept_thread: Some(accept_thread),
-            workers,
+            shared,
             stats,
-            live,
         })
     }
 
@@ -165,6 +236,11 @@ impl Server {
         &self.stats
     }
 
+    /// The metric registry this server records into.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.obs)
+    }
+
     /// Stop accepting, drain the workers, and join all threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -175,27 +251,110 @@ impl Server {
         }
         // Force idle keep-alive connections closed so workers drain now
         // rather than after the inter-request timeout.
-        for (_, s) in self.live.lock().drain() {
+        for (_, s) in self.shared.live.lock().drain() {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // Join workers, including overflow workers spawned after bind.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *self.shared.workers.lock());
+            if handles.is_empty() {
+                break;
+            }
+            for w in handles {
+                let _ = w.join();
+            }
         }
     }
 }
 
+/// Spawn one worker thread. Resident workers block on the queue for the
+/// server's lifetime; overflow workers drain it and retire when empty.
+fn spawn_worker(shared: &Arc<Shared>, resident: bool) {
+    shared.pool.total.fetch_add(1, Ordering::Relaxed);
+    let worker_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        worker_loop(&worker_shared, resident);
+        worker_shared.pool.total.fetch_sub(1, Ordering::Relaxed);
+    });
+    shared.workers.lock().push(handle);
+}
+
+/// Spawn an overflow worker when connections are queueing behind a
+/// fully-pinned resident pool — the fix for keep-alive starvation,
+/// where `min_daemons` idle persistent connections held every worker
+/// while new clients waited invisibly in the accept queue.
+fn maybe_spawn_overflow(shared: &Arc<Shared>) {
+    let pool = &shared.pool;
+    if pool.queued.load(Ordering::Relaxed) <= pool.idle.load(Ordering::Relaxed) as i64 {
+        return; // an idle worker will pick it up
+    }
+    let max = shared
+        .config
+        .max_daemons
+        .max(shared.config.min_daemons.max(1));
+    if pool.total.load(Ordering::Relaxed) >= max {
+        return;
+    }
+    shared.obs.counter("http.overflow_workers_spawned").inc();
+    spawn_worker(shared, false);
+}
+
+fn worker_loop(shared: &Shared, resident: bool) {
+    loop {
+        let stream = if resident {
+            shared.pool.idle.fetch_add(1, Ordering::Relaxed);
+            let got = shared.rx.recv();
+            shared.pool.idle.fetch_sub(1, Ordering::Relaxed);
+            match got {
+                Ok(s) => s,
+                Err(_) => return, // channel closed: shutting down
+            }
+        } else {
+            // Overflow workers never go idle: retire once the pressure
+            // that spawned them is gone.
+            match shared.rx.try_recv() {
+                Some(s) => s,
+                None => return,
+            }
+        };
+        shared.pool.queued.fetch_sub(1, Ordering::Relaxed);
+        let id = shared.conn_serial.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.live.lock().insert(id, clone);
+        }
+        shared.pool.active.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_connection(stream, shared);
+        shared.pool.active.fetch_sub(1, Ordering::Relaxed);
+        // Drop the duplicate descriptor so the peer sees EOF.
+        shared.live.lock().remove(&id);
+    }
+}
+
 /// Serve one (possibly persistent) connection to completion.
-fn serve_connection(
-    stream: TcpStream,
-    config: &ServerConfig,
-    handler: &(dyn Fn(Request) -> Response + Send + Sync),
-    stats: &ServerStats,
-) -> Result<()> {
-    stream.set_read_timeout(Some(config.keep_alive_timeout))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
+    let config = &shared.config;
+    let stats = &shared.stats;
+    let obs = &shared.obs;
+    // A duplicate handle for switching the socket read timeout while
+    // the reader is borrowed (timeouts live on the shared socket).
+    let timeout_ctl = stream.try_clone()?;
+    let mut reader = BufReader::new(pse_obs::io::CountingReader::new(
+        stream.try_clone()?,
+        obs.counter("http.bytes_in"),
+    ));
+    let counted_out = pse_obs::io::CountingWriter::new(stream, obs.counter("http.bytes_out"));
+    let out_total = counted_out.total();
+    let mut writer = BufWriter::new(counted_out);
+    let latency = obs.histogram("http.request_latency_us");
     for served in 0..config.max_requests_per_connection {
-        let req = match wire::read_request(&mut reader, &config.limits) {
+        // Between requests the short keep-alive timeout governs; once a
+        // request line arrives, the longer in-request deadline takes
+        // over so a slow body upload is not dropped as idle.
+        timeout_ctl.set_read_timeout(Some(config.keep_alive_timeout))?;
+        let req = match wire::read_request_with(&mut reader, &config.limits, || {
+            let _ = timeout_ctl.set_read_timeout(Some(config.body_read_timeout));
+        }) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean close between requests
             Err(Error::Io(e))
@@ -212,6 +371,7 @@ fn serve_connection(
                     &format!("{what} exceeds {limit} bytes"),
                 )
                 .with_header("Connection", "close");
+                obs.counter("http.responses.4xx").inc();
                 let _ = wire::write_response(&mut writer, &resp, false);
                 return Ok(());
             }
@@ -220,11 +380,14 @@ fn serve_connection(
                 // answer and drop the connection rather than guess.
                 let resp = Response::error(StatusCode::BAD_REQUEST, "malformed request")
                     .with_header("Connection", "close");
+                obs.counter("http.responses.4xx").inc();
                 let _ = wire::write_response(&mut writer, &resp, false);
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
+        let started = Instant::now();
+        let out_before = out_total.load(Ordering::Relaxed);
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let head_only = req.method == Method::Head;
         // HTTP/1.0 clients get close-by-default semantics; on the last
@@ -232,22 +395,57 @@ fn serve_connection(
         // re-connect instead of discovering a stale connection later.
         let client_wants_close = !wire::keep_alive(req.version, &req.headers);
         let budget_exhausted = served + 1 == config.max_requests_per_connection;
+        let trace_what = if obs.is_enabled() {
+            format!("{} {}", req.method, req.target.path())
+        } else {
+            String::new()
+        };
 
-        let mut resp = match &config.auth {
-            Some(store) => match store.authenticate(req.headers.get("Authorization")) {
-                Some(_) => handler(req),
-                None => {
-                    stats.auth_failures.fetch_add(1, Ordering::Relaxed);
-                    Response::error(StatusCode::UNAUTHORIZED, "authentication required")
-                        .with_header("WWW-Authenticate", store.challenge())
-                }
-            },
-            None => handler(req),
+        // The metrics endpoint is reserved and answered before auth and
+        // dispatch, so a locked-down server is still scrapeable.
+        let mut resp = if req.method == Method::Get && req.target.path() == METRICS_PATH {
+            obs.counter("http.requests.metrics").inc();
+            Response::ok()
+                .with_header("Content-Type", "text/plain; charset=utf-8")
+                .with_header("Cache-Control", "no-store")
+                .with_body(obs.render_text())
+        } else {
+            if obs.is_enabled() {
+                obs.counter(&format!(
+                    "http.requests.{}",
+                    req.method.as_str().to_ascii_lowercase()
+                ))
+                .inc();
+            }
+            match &config.auth {
+                Some(store) => match store.authenticate(req.headers.get("Authorization")) {
+                    Some(_) => (shared.handler)(req),
+                    None => {
+                        stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+                        obs.counter("http.auth_failures").inc();
+                        Response::error(StatusCode::UNAUTHORIZED, "authentication required")
+                            .with_header("WWW-Authenticate", store.challenge())
+                    }
+                },
+                None => (shared.handler)(req),
+            }
         };
         if client_wants_close || budget_exhausted {
             resp.headers.set("Connection", "close");
         }
         wire::write_response(&mut writer, &resp, head_only)?;
+        if obs.is_enabled() {
+            let us = started.elapsed().as_micros() as u64;
+            latency.observe(us);
+            obs.counter(&format!("http.responses.{}xx", resp.status.code() / 100))
+                .inc();
+            obs.trace(TraceEvent {
+                what: trace_what,
+                status: resp.status.code(),
+                duration_us: us,
+                bytes: out_total.load(Ordering::Relaxed).saturating_sub(out_before),
+            });
+        }
         if client_wants_close || budget_exhausted || !wire::keep_alive(resp.version, &resp.headers)
         {
             return Ok(());
@@ -261,6 +459,7 @@ mod tests {
     use super::*;
     use crate::auth::Credentials;
     use crate::client::Client;
+    use std::io::{Read, Write};
 
     fn echo_server(config: ServerConfig) -> Server {
         Server::bind("127.0.0.1:0", config, |req: Request| {
@@ -269,6 +468,25 @@ mod tests {
                 .with_body(req.body)
         })
         .unwrap()
+    }
+
+    /// Read one HTTP response off a raw socket: headers, then exactly
+    /// `Content-Length` body bytes. Panics on malformed framing.
+    fn read_raw_response(s: &mut TcpStream) -> (String, Vec<u8>) {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            s.read_exact(&mut byte).unwrap();
+            head.push(byte[0]);
+        }
+        let head = String::from_utf8(head).unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().parse().unwrap()))
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        s.read_exact(&mut body).unwrap();
+        (head, body)
     }
 
     #[test]
@@ -349,7 +567,6 @@ mod tests {
         // 15 s keep-alive timeout waiting for the server's FIN.
         let server = echo_server(ServerConfig::default());
         let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        use std::io::{Read, Write};
         raw.write_all(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
         let start = std::time::Instant::now();
         let mut buf = Vec::new();
@@ -372,7 +589,6 @@ mod tests {
             ..ServerConfig::default()
         });
         let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        use std::io::{Read, Write};
         raw.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
             .unwrap();
         let mut buf = Vec::new();
@@ -391,7 +607,6 @@ mod tests {
         // the body bytes on the stream to be served as a second request.
         let server = echo_server(ServerConfig::default());
         let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        use std::io::{Read, Write};
         raw.write_all(
             b"PUT /x HTTP/1.1\r\nContent-Length: banana\r\n\r\nGET /smuggled HTTP/1.1\r\n\r\n",
         )
@@ -409,7 +624,6 @@ mod tests {
     fn malformed_request_gets_400() {
         let server = echo_server(ServerConfig::default());
         let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        use std::io::{Read, Write};
         raw.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
         let mut buf = Vec::new();
         raw.read_to_end(&mut buf).unwrap();
@@ -469,6 +683,171 @@ mod tests {
         let resp = client.send(Request::new(Method::Head, "/")).unwrap();
         assert!(resp.body.is_empty());
         assert_eq!(resp.headers.content_length(), Some(7));
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_keepalive_connections_do_not_starve_new_clients() {
+        // Regression: with exactly `min_daemons` workers each serving one
+        // connection to completion, two idle keep-alive clients pinned
+        // both workers and a fresh client sat in the accept queue until
+        // a keep-alive timeout freed a worker (up to 15 s). Overflow
+        // workers must absorb the queue instead.
+        let server = echo_server(ServerConfig {
+            min_daemons: 2,
+            max_daemons: 8,
+            ..ServerConfig::default()
+        });
+        let mut pinned = Vec::new();
+        for _ in 0..2 {
+            let mut s = TcpStream::connect(server.local_addr()).unwrap();
+            s.write_all(b"GET /pin HTTP/1.1\r\n\r\n").unwrap();
+            // Reading the response proves a worker owns this connection
+            // and is now parked in its keep-alive wait.
+            let (head, _) = read_raw_response(&mut s);
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            pinned.push(s);
+        }
+        let start = Instant::now();
+        let mut fresh = Client::connect(server.local_addr()).unwrap();
+        let resp = fresh.get("/unstarved").unwrap();
+        assert_eq!(resp.status.code(), 200);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "fresh client starved for {:?} (well over the small bound, \
+             approaching keep_alive_timeout)",
+            start.elapsed()
+        );
+        assert!(
+            server
+                .registry()
+                .snapshot()
+                .counter("http.overflow_workers_spawned")
+                >= 1
+        );
+        drop(pinned);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_body_upload_outlives_keepalive_timeout() {
+        // Regression: one read timeout covered both the idle wait and
+        // mid-request body reads, so a client pausing longer than
+        // `keep_alive_timeout` inside a PUT was dropped as if idle.
+        let server = echo_server(ServerConfig {
+            keep_alive_timeout: Duration::from_millis(300),
+            body_read_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        });
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(b"PUT /slow HTTP/1.1\r\nContent-Length: 10\r\n\r\nhello")
+            .unwrap();
+        // Stall mid-body for 3x the keep-alive timeout.
+        std::thread::sleep(Duration::from_millis(900));
+        raw.write_all(b"world").unwrap();
+        let (head, body) = read_raw_response(&mut raw);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, b"helloworld");
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_still_times_out_between_requests() {
+        // The body deadline must not extend the between-requests wait.
+        let server = echo_server(ServerConfig {
+            keep_alive_timeout: Duration::from_millis(200),
+            body_read_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        });
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        let _ = read_raw_response(&mut raw);
+        let start = Instant::now();
+        let mut rest = Vec::new();
+        raw.read_to_end(&mut rest).unwrap(); // waits for the server's FIN
+        assert!(rest.is_empty());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "idle connection survived {:?}",
+            start.elapsed()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_reflects_request_mix_pre_auth() {
+        let mut store = UserStore::new("Ecce");
+        store.add_user("karen", "pw");
+        let server = echo_server(ServerConfig {
+            auth: Some(store),
+            ..ServerConfig::default()
+        });
+        let mut authed = Client::connect(server.local_addr()).unwrap();
+        authed.set_credentials(Credentials::new("karen", "pw"));
+        assert_eq!(authed.get("/a").unwrap().status.code(), 200);
+        assert_eq!(authed.get("/b").unwrap().status.code(), 200);
+        assert_eq!(authed.put("/c", "body").unwrap().status.code(), 200);
+        // An unauthenticated request is refused but still counted.
+        let mut anon = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(anon.get("/denied").unwrap().status.code(), 401);
+        // The metrics endpoint itself needs no credentials: it answers
+        // before the auth gate.
+        let resp = anon.get(METRICS_PATH).unwrap();
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some("text/plain; charset=utf-8")
+        );
+        let text = resp.body_text();
+        use pse_obs::parse_text_metric as metric;
+        assert_eq!(metric(&text, "http.requests.get"), Some(3), "{text}");
+        assert_eq!(metric(&text, "http.requests.put"), Some(1), "{text}");
+        assert_eq!(metric(&text, "http.requests.metrics"), Some(1), "{text}");
+        assert_eq!(metric(&text, "http.auth_failures"), Some(1), "{text}");
+        assert_eq!(metric(&text, "http.responses.2xx"), Some(3), "{text}");
+        assert_eq!(metric(&text, "http.responses.4xx"), Some(1), "{text}");
+        // Histogram records one sample per completed exchange.
+        assert_eq!(metric(&text, "http.request_latency_us"), Some(4), "{text}");
+        assert!(metric(&text, "http.bytes_in").unwrap() > 0, "{text}");
+        assert!(metric(&text, "http.bytes_out").unwrap() > 0, "{text}");
+        // Pool gauges are exported through the registry source.
+        assert_eq!(metric(&text, "http.workers_total"), Some(5), "{text}");
+        assert!(metric(&text, "http.active_connections").unwrap() >= 1, "{text}");
+        // The trace ring retained the scripted mix.
+        let traces = server.registry().recent_traces();
+        assert!(traces.iter().any(|t| t.what == "GET /a" && t.status == 200));
+        assert!(traces.iter().any(|t| t.what == "GET /denied" && t.status == 401));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shared_registry_is_used_instead_of_a_fresh_one() {
+        let reg = Registry::new();
+        let server = echo_server(ServerConfig {
+            obs: Some(Arc::clone(&reg)),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.get("/x").unwrap();
+        assert_eq!(reg.snapshot().counter("http.requests.get"), 1);
+        assert!(Arc::ptr_eq(&server.registry(), &reg));
+        server.shutdown();
+    }
+
+    #[test]
+    fn disabled_registry_serves_but_records_nothing() {
+        let server = echo_server(ServerConfig {
+            obs: Some(Registry::disabled()),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.get("/x").unwrap().status.code(), 200);
+        let resp = c.get(METRICS_PATH).unwrap();
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(
+            pse_obs::parse_text_metric(&resp.body_text(), "http.requests.get"),
+            None
+        );
         server.shutdown();
     }
 }

@@ -198,6 +198,19 @@ pub fn encode_chunked(body: &[u8], chunk_size: usize) -> Vec<u8> {
 /// Read a complete request. Returns `Ok(None)` when the connection was
 /// closed cleanly between requests (normal keep-alive termination).
 pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>> {
+    read_request_with(r, limits, || ())
+}
+
+/// [`read_request`] with a hook invoked once the request line has been
+/// parsed. The server uses it to switch the socket from the keep-alive
+/// idle timeout to the (longer) in-request read deadline, so a client
+/// that pauses mid-body is not dropped as if it were idle between
+/// requests.
+pub fn read_request_with(
+    r: &mut impl BufRead,
+    limits: &Limits,
+    after_request_line: impl FnOnce(),
+) -> Result<Option<Request>> {
     let line = match read_line(r, limits.max_header_line) {
         Ok(l) => l,
         Err(Error::ConnectionClosed) => return Ok(None),
@@ -214,6 +227,7 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Requ
         v => return Err(Error::UnsupportedVersion(v.to_owned())),
     };
     let method: Method = method.parse().expect("infallible");
+    after_request_line();
     let headers = read_headers(r, limits)?;
     let body = read_body(r, &headers, limits)?;
     Ok(Some(Request {

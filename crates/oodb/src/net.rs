@@ -26,6 +26,7 @@ use crate::error::{Error, Result};
 use crate::store::{OodbStore, StoredObject};
 use crate::value::{FieldValue, Oid};
 use parking_lot::Mutex;
+use pse_obs::Registry;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -105,11 +106,23 @@ pub struct OodbServer {
     accept_thread: Option<JoinHandle<()>>,
     live: Arc<Mutex<HashMap<u64, TcpStream>>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    obs: Arc<Registry>,
 }
 
 impl OodbServer {
-    /// Serve `store` on `addr`, one thread per client connection.
+    /// Serve `store` on `addr`, one thread per client connection,
+    /// recording per-RPC counters into a fresh registry.
     pub fn bind<A: ToSocketAddrs>(addr: A, store: OodbStore) -> Result<OodbServer> {
+        Self::bind_with_registry(addr, store, Registry::new())
+    }
+
+    /// Like [`OodbServer::bind`], recording `oodb.rpc.*` counters into
+    /// the given registry.
+    pub fn bind_with_registry<A: ToSocketAddrs>(
+        addr: A,
+        store: OodbStore,
+        obs: Arc<Registry>,
+    ) -> Result<OodbServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -119,6 +132,7 @@ impl OodbServer {
         let accept_stop = Arc::clone(&stop);
         let accept_live = Arc::clone(&live);
         let accept_threads = Arc::clone(&conn_threads);
+        let accept_obs = Arc::clone(&obs);
         let accept_thread = std::thread::spawn(move || {
             let mut serial = 0u64;
             for stream in listener.incoming() {
@@ -134,8 +148,9 @@ impl OodbServer {
                 }
                 let store = Arc::clone(&shared);
                 let live = Arc::clone(&accept_live);
+                let conn_obs = Arc::clone(&accept_obs);
                 let handle = std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &store);
+                    let _ = serve_connection(stream, &store, &conn_obs);
                     live.lock().remove(&id);
                 });
                 accept_threads.lock().push(handle);
@@ -147,12 +162,18 @@ impl OodbServer {
             accept_thread: Some(accept_thread),
             live,
             conn_threads,
+            obs,
         })
     }
 
     /// Bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metric registry this server records into.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.obs)
     }
 
     /// Stop accepting and close live connections.
@@ -204,7 +225,7 @@ fn read_frame(r: &mut impl BufRead) -> Result<(Vec<String>, Vec<u8>)> {
     Ok((parts, payload))
 }
 
-fn serve_connection(stream: TcpStream, store: &Mutex<OodbStore>) -> Result<()> {
+fn serve_connection(stream: TcpStream, store: &Mutex<OodbStore>, obs: &Registry) -> Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
@@ -213,6 +234,10 @@ fn serve_connection(stream: TcpStream, store: &Mutex<OodbStore>) -> Result<()> {
             Err(_) => return Ok(()), // client went away
         };
         let verb = parts.first().map(String::as_str).unwrap_or("");
+        if obs.is_enabled() {
+            obs.counter(&format!("oodb.rpc.{}", verb.to_ascii_lowercase()))
+                .inc();
+        }
         let reply: Result<(String, Option<Vec<u8>>)> = (|| {
             let mut db = store.lock();
             let generation = |db: &OodbStore| db.generation();
@@ -307,7 +332,10 @@ fn serve_connection(stream: TcpStream, store: &Mutex<OodbStore>) -> Result<()> {
         })();
         match reply {
             Ok((head, payload)) => write_frame(&mut writer, &head, payload.as_deref())?,
-            Err(e) => write_frame(&mut writer, &format!("ERR {e}"), None)?,
+            Err(e) => {
+                obs.counter("oodb.rpc.errors").inc();
+                write_frame(&mut writer, &format!("ERR {e}"), None)?;
+            }
         }
     }
 }
@@ -552,6 +580,17 @@ mod tests {
         assert!(c.disk_usage().unwrap() > 0);
         c.delete(oid).unwrap();
         assert!(matches!(c.fetch(oid), Err(Error::NoSuchObject(_))));
+        // The deleted fetch failed server-side: counted as an error RPC.
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter("oodb.rpc.create"), 1);
+        // The cache-forward client reads via LOCATE + segment PAGE
+        // (never object FETCH), and its cache absorbs repeats, so only
+        // lower bounds hold here.
+        assert!(snap.counter("oodb.rpc.locate") >= 1, "{snap:?}");
+        assert!(snap.counter("oodb.rpc.page") >= 1, "{snap:?}");
+        assert_eq!(snap.counter("oodb.rpc.update"), 1);
+        assert_eq!(snap.counter("oodb.rpc.delete"), 1);
+        assert!(snap.counter("oodb.rpc.errors") >= 1, "{snap:?}");
         server.shutdown();
         std::fs::remove_dir_all(&d).unwrap();
     }

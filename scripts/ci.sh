@@ -5,9 +5,13 @@
 # 2. Robustness suite: the fault-injection matrix must pass explicitly
 #    (it is part of the workspace tests too; the dedicated run makes a
 #    matrix failure unmissable in CI output).
-# 3. Lint: clippy with warnings denied on the dependency-free crates
-#    where we hold the bar at zero (pse-cache today). Skipped with a
-#    notice if the clippy component is not installed.
+# 3. Observability gate: pse-obs unit tests, a metrics-endpoint smoke
+#    test (one scrape must surface every layer), and an instrumentation
+#    overhead check — repro_table1 with the registry enabled must stay
+#    within 5% of a registry-disabled run.
+# 4. Lint: clippy with warnings denied on the dependency-free crates
+#    where we hold the bar at zero (pse-cache and pse-obs today).
+#    Skipped with a notice if the clippy component is not installed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,9 +27,20 @@ cargo test -q --workspace
 echo "==> robustness suite (fault matrix): cargo test -q --test robustness"
 cargo test -q --test robustness
 
+echo "==> observability: cargo test -q -p pse-obs"
+cargo test -q -p pse-obs
+
+echo "==> observability: metrics endpoint smoke test"
+cargo test -q -p pse-dav metrics_scrape_covers_every_layer
+cargo test -q -p pse-http metrics_endpoint_reflects_request_mix_pre_auth
+
+echo "==> observability: instrumentation overhead <= 5% (repro_table1 --obs-check)"
+./target/release/repro_table1 --obs-check
+
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> lint: cargo clippy -p pse-cache -- -D warnings"
+    echo "==> lint: cargo clippy -p pse-cache -p pse-obs -- -D warnings"
     cargo clippy -p pse-cache --all-targets -- -D warnings
+    cargo clippy -p pse-obs --all-targets -- -D warnings
 else
     echo "==> lint: clippy not installed, skipping"
 fi

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compliance-f850af11211f64de.d: crates/dav/tests/compliance.rs
+
+/root/repo/target/debug/deps/compliance-f850af11211f64de: crates/dav/tests/compliance.rs
+
+crates/dav/tests/compliance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/davpse-04217d58a2a3cb8e.d: src/lib.rs
+
+/root/repo/target/debug/deps/davpse-04217d58a2a3cb8e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/davpse-5007a54e77e41b55.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdavpse-5007a54e77e41b55.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdavpse-5007a54e77e41b55.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1e66e844b3770a7a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1e66e844b3770a7a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_fidelity-1485eedb357adc8c.d: tests/migration_fidelity.rs
+
+/root/repo/target/debug/deps/migration_fidelity-1485eedb357adc8c: tests/migration_fidelity.rs
+
+tests/migration_fidelity.rs:

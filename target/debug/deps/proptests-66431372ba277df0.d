@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-66431372ba277df0.d: crates/ecce/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-66431372ba277df0: crates/ecce/tests/proptests.rs
+
+crates/ecce/tests/proptests.rs:

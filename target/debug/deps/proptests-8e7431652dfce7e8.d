@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8e7431652dfce7e8.d: crates/http/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8e7431652dfce7e8: crates/http/tests/proptests.rs
+
+crates/http/tests/proptests.rs:

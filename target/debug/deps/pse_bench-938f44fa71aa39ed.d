@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pse_bench-938f44fa71aa39ed.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libpse_bench-938f44fa71aa39ed.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libpse_bench-938f44fa71aa39ed.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/proxy.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pse_bench-9bc0e2ed797bfadd.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/pse_bench-9bc0e2ed797bfadd: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/proxy.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/proxy.rs:
+crates/bench/src/workloads.rs:

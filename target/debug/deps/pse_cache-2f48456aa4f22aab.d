@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pse_cache-2f48456aa4f22aab.d: crates/cache/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpse_cache-2f48456aa4f22aab.rmeta: crates/cache/src/lib.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

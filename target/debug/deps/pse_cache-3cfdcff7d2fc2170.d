@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pse_cache-3cfdcff7d2fc2170.d: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/libpse_cache-3cfdcff7d2fc2170.rlib: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/libpse_cache-3cfdcff7d2fc2170.rmeta: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pse_cache-5a545760886fac2f.d: crates/cache/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpse_cache-5a545760886fac2f.rmeta: crates/cache/src/lib.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

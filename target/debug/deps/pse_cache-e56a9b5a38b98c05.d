@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pse_cache-e56a9b5a38b98c05.d: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/pse_cache-e56a9b5a38b98c05: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pse_dav-bf998994fcb22bbd.d: crates/dav/src/lib.rs crates/dav/src/client.rs crates/dav/src/depth.rs crates/dav/src/error.rs crates/dav/src/fsrepo.rs crates/dav/src/handler.rs crates/dav/src/ifheader.rs crates/dav/src/lock.rs crates/dav/src/memrepo.rs crates/dav/src/multistatus.rs crates/dav/src/order.rs crates/dav/src/property.rs crates/dav/src/repo.rs crates/dav/src/search.rs crates/dav/src/server.rs crates/dav/src/translate.rs crates/dav/src/version.rs
+
+/root/repo/target/debug/deps/pse_dav-bf998994fcb22bbd: crates/dav/src/lib.rs crates/dav/src/client.rs crates/dav/src/depth.rs crates/dav/src/error.rs crates/dav/src/fsrepo.rs crates/dav/src/handler.rs crates/dav/src/ifheader.rs crates/dav/src/lock.rs crates/dav/src/memrepo.rs crates/dav/src/multistatus.rs crates/dav/src/order.rs crates/dav/src/property.rs crates/dav/src/repo.rs crates/dav/src/search.rs crates/dav/src/server.rs crates/dav/src/translate.rs crates/dav/src/version.rs
+
+crates/dav/src/lib.rs:
+crates/dav/src/client.rs:
+crates/dav/src/depth.rs:
+crates/dav/src/error.rs:
+crates/dav/src/fsrepo.rs:
+crates/dav/src/handler.rs:
+crates/dav/src/ifheader.rs:
+crates/dav/src/lock.rs:
+crates/dav/src/memrepo.rs:
+crates/dav/src/multistatus.rs:
+crates/dav/src/order.rs:
+crates/dav/src/property.rs:
+crates/dav/src/repo.rs:
+crates/dav/src/search.rs:
+crates/dav/src/server.rs:
+crates/dav/src/translate.rs:
+crates/dav/src/version.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/pse_dbm-149f246318dfc83a.d: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
+/root/repo/target/debug/deps/pse_dbm-149f246318dfc83a.d: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/obs.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
 
-/root/repo/target/debug/deps/libpse_dbm-149f246318dfc83a.rlib: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
+/root/repo/target/debug/deps/libpse_dbm-149f246318dfc83a.rlib: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/obs.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
 
-/root/repo/target/debug/deps/libpse_dbm-149f246318dfc83a.rmeta: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
+/root/repo/target/debug/deps/libpse_dbm-149f246318dfc83a.rmeta: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/obs.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
 
 crates/dbm/src/lib.rs:
 crates/dbm/src/api.rs:
 crates/dbm/src/error.rs:
 crates/dbm/src/gdbm.rs:
+crates/dbm/src/obs.rs:
 crates/dbm/src/sdbm.rs:
 crates/dbm/src/stats.rs:

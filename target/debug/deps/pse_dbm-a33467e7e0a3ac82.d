@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/pse_dbm-a33467e7e0a3ac82.d: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
+/root/repo/target/debug/deps/pse_dbm-a33467e7e0a3ac82.d: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/obs.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
 
-/root/repo/target/debug/deps/pse_dbm-a33467e7e0a3ac82: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
+/root/repo/target/debug/deps/pse_dbm-a33467e7e0a3ac82: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/obs.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
 
 crates/dbm/src/lib.rs:
 crates/dbm/src/api.rs:
 crates/dbm/src/error.rs:
 crates/dbm/src/gdbm.rs:
+crates/dbm/src/obs.rs:
 crates/dbm/src/sdbm.rs:
 crates/dbm/src/stats.rs:

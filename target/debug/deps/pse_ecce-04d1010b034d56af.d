@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pse_ecce-04d1010b034d56af.d: crates/ecce/src/lib.rs crates/ecce/src/agent.rs crates/ecce/src/basis.rs crates/ecce/src/cache.rs crates/ecce/src/chem.rs crates/ecce/src/davstore.rs crates/ecce/src/dsi.rs crates/ecce/src/error.rs crates/ecce/src/factory.rs crates/ecce/src/jobs.rs crates/ecce/src/migrate.rs crates/ecce/src/model.rs crates/ecce/src/oodbstore.rs crates/ecce/src/query.rs crates/ecce/src/tools.rs
+
+/root/repo/target/debug/deps/pse_ecce-04d1010b034d56af: crates/ecce/src/lib.rs crates/ecce/src/agent.rs crates/ecce/src/basis.rs crates/ecce/src/cache.rs crates/ecce/src/chem.rs crates/ecce/src/davstore.rs crates/ecce/src/dsi.rs crates/ecce/src/error.rs crates/ecce/src/factory.rs crates/ecce/src/jobs.rs crates/ecce/src/migrate.rs crates/ecce/src/model.rs crates/ecce/src/oodbstore.rs crates/ecce/src/query.rs crates/ecce/src/tools.rs
+
+crates/ecce/src/lib.rs:
+crates/ecce/src/agent.rs:
+crates/ecce/src/basis.rs:
+crates/ecce/src/cache.rs:
+crates/ecce/src/chem.rs:
+crates/ecce/src/davstore.rs:
+crates/ecce/src/dsi.rs:
+crates/ecce/src/error.rs:
+crates/ecce/src/factory.rs:
+crates/ecce/src/jobs.rs:
+crates/ecce/src/migrate.rs:
+crates/ecce/src/model.rs:
+crates/ecce/src/oodbstore.rs:
+crates/ecce/src/query.rs:
+crates/ecce/src/tools.rs:

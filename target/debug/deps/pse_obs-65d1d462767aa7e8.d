@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pse_obs-65d1d462767aa7e8.d: crates/obs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpse_obs-65d1d462767aa7e8.rmeta: crates/obs/src/lib.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

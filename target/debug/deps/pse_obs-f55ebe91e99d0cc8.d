@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pse_obs-f55ebe91e99d0cc8.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/libpse_obs-f55ebe91e99d0cc8.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/libpse_obs-f55ebe91e99d0cc8.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pse_obs-fa24d6276f6f55a4.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/pse_obs-fa24d6276f6f55a4: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pse_oodb-9ba526619f27251f.d: crates/oodb/src/lib.rs crates/oodb/src/api.rs crates/oodb/src/cache.rs crates/oodb/src/encode.rs crates/oodb/src/error.rs crates/oodb/src/net.rs crates/oodb/src/query.rs crates/oodb/src/schema.rs crates/oodb/src/segment.rs crates/oodb/src/store.rs crates/oodb/src/value.rs
+
+/root/repo/target/debug/deps/pse_oodb-9ba526619f27251f: crates/oodb/src/lib.rs crates/oodb/src/api.rs crates/oodb/src/cache.rs crates/oodb/src/encode.rs crates/oodb/src/error.rs crates/oodb/src/net.rs crates/oodb/src/query.rs crates/oodb/src/schema.rs crates/oodb/src/segment.rs crates/oodb/src/store.rs crates/oodb/src/value.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/api.rs:
+crates/oodb/src/cache.rs:
+crates/oodb/src/encode.rs:
+crates/oodb/src/error.rs:
+crates/oodb/src/net.rs:
+crates/oodb/src/query.rs:
+crates/oodb/src/schema.rs:
+crates/oodb/src/segment.rs:
+crates/oodb/src/store.rs:
+crates/oodb/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablations-76be011918b1e04f.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/debug/deps/repro_ablations-76be011918b1e04f: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablations-de08a082932c6a91.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/debug/deps/repro_ablations-de08a082932c6a91: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

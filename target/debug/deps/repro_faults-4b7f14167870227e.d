@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_faults-4b7f14167870227e.d: crates/bench/src/bin/repro_faults.rs
+
+/root/repo/target/debug/deps/repro_faults-4b7f14167870227e: crates/bench/src/bin/repro_faults.rs
+
+crates/bench/src/bin/repro_faults.rs:

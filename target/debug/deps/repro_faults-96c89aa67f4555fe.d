@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_faults-96c89aa67f4555fe.d: crates/bench/src/bin/repro_faults.rs
+
+/root/repo/target/debug/deps/repro_faults-96c89aa67f4555fe: crates/bench/src/bin/repro_faults.rs
+
+crates/bench/src/bin/repro_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-7cf9860c6a95c0d8.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-7cf9860c6a95c0d8: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

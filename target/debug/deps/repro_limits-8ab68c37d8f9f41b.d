@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-8ab68c37d8f9f41b.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-8ab68c37d8f9f41b: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_migration-a53f996d19b5ac64.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/debug/deps/repro_migration-a53f996d19b5ac64: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_migration-cc1ce514a7cc86b3.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/debug/deps/repro_migration-cc1ce514a7cc86b3: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

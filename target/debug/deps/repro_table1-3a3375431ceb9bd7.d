@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-3a3375431ceb9bd7.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-3a3375431ceb9bd7: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-5bab29770796f476.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-5bab29770796f476: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-2719e3d85fb5fd38.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-2719e3d85fb5fd38: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-6bb29150c80f4388.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-6bb29150c80f4388: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-141782a4b7bf9f09.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-141782a4b7bf9f09: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

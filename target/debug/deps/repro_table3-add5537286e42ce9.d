@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-add5537286e42ce9.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-add5537286e42ce9: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

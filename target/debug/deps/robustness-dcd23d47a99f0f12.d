@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-dcd23d47a99f0f12.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-dcd23d47a99f0f12: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chemistry_study-091edf8c87ad5eb4.d: examples/chemistry_study.rs
+
+/root/repo/target/debug/examples/chemistry_study-091edf8c87ad5eb4: examples/chemistry_study.rs
+
+examples/chemistry_study.rs:

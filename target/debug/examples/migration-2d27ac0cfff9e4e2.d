@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration-2d27ac0cfff9e4e2.d: examples/migration.rs
+
+/root/repo/target/debug/examples/migration-2d27ac0cfff9e4e2: examples/migration.rs
+
+examples/migration.rs:

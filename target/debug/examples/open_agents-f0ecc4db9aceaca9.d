@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_agents-f0ecc4db9aceaca9.d: examples/open_agents.rs
+
+/root/repo/target/debug/examples/open_agents-f0ecc4db9aceaca9: examples/open_agents.rs
+
+examples/open_agents.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2a4373f0b113e581.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2a4373f0b113e581: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libpse_cache.rlib: /root/repo/crates/cache/src/lib.rs /root/repo/crates/obs/src/lib.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/davpse-f395b65b08b8e70f.d: src/lib.rs
+
+/root/repo/target/release/deps/libdavpse-f395b65b08b8e70f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdavpse-f395b65b08b8e70f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pse_cache-31cd03db4d8738ce.d: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/libpse_cache-31cd03db4d8738ce.rlib: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/libpse_cache-31cd03db4d8738ce.rmeta: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/pse_dbm-8175932206f1395f.d: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
+/root/repo/target/release/deps/pse_dbm-8175932206f1395f.d: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/obs.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
 
-/root/repo/target/release/deps/libpse_dbm-8175932206f1395f.rlib: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
+/root/repo/target/release/deps/libpse_dbm-8175932206f1395f.rlib: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/obs.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
 
-/root/repo/target/release/deps/libpse_dbm-8175932206f1395f.rmeta: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
+/root/repo/target/release/deps/libpse_dbm-8175932206f1395f.rmeta: crates/dbm/src/lib.rs crates/dbm/src/api.rs crates/dbm/src/error.rs crates/dbm/src/gdbm.rs crates/dbm/src/obs.rs crates/dbm/src/sdbm.rs crates/dbm/src/stats.rs
 
 crates/dbm/src/lib.rs:
 crates/dbm/src/api.rs:
 crates/dbm/src/error.rs:
 crates/dbm/src/gdbm.rs:
+crates/dbm/src/obs.rs:
 crates/dbm/src/sdbm.rs:
 crates/dbm/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/pse_http-734ffd4dc6d7ccbe.d: crates/http/src/lib.rs crates/http/src/auth.rs crates/http/src/client.rs crates/http/src/error.rs crates/http/src/fault.rs crates/http/src/headers.rs crates/http/src/message.rs crates/http/src/method.rs crates/http/src/retry.rs crates/http/src/server.rs crates/http/src/status.rs crates/http/src/uri.rs crates/http/src/wire.rs
+
+/root/repo/target/release/deps/libpse_http-734ffd4dc6d7ccbe.rlib: crates/http/src/lib.rs crates/http/src/auth.rs crates/http/src/client.rs crates/http/src/error.rs crates/http/src/fault.rs crates/http/src/headers.rs crates/http/src/message.rs crates/http/src/method.rs crates/http/src/retry.rs crates/http/src/server.rs crates/http/src/status.rs crates/http/src/uri.rs crates/http/src/wire.rs
+
+/root/repo/target/release/deps/libpse_http-734ffd4dc6d7ccbe.rmeta: crates/http/src/lib.rs crates/http/src/auth.rs crates/http/src/client.rs crates/http/src/error.rs crates/http/src/fault.rs crates/http/src/headers.rs crates/http/src/message.rs crates/http/src/method.rs crates/http/src/retry.rs crates/http/src/server.rs crates/http/src/status.rs crates/http/src/uri.rs crates/http/src/wire.rs
+
+crates/http/src/lib.rs:
+crates/http/src/auth.rs:
+crates/http/src/client.rs:
+crates/http/src/error.rs:
+crates/http/src/fault.rs:
+crates/http/src/headers.rs:
+crates/http/src/message.rs:
+crates/http/src/method.rs:
+crates/http/src/retry.rs:
+crates/http/src/server.rs:
+crates/http/src/status.rs:
+crates/http/src/uri.rs:
+crates/http/src/wire.rs:

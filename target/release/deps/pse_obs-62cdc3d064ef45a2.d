@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pse_obs-62cdc3d064ef45a2.d: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/libpse_obs-62cdc3d064ef45a2.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/libpse_obs-62cdc3d064ef45a2.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

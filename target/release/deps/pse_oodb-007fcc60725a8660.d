@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pse_oodb-007fcc60725a8660.d: crates/oodb/src/lib.rs crates/oodb/src/api.rs crates/oodb/src/cache.rs crates/oodb/src/encode.rs crates/oodb/src/error.rs crates/oodb/src/net.rs crates/oodb/src/query.rs crates/oodb/src/schema.rs crates/oodb/src/segment.rs crates/oodb/src/store.rs crates/oodb/src/value.rs
+
+/root/repo/target/release/deps/libpse_oodb-007fcc60725a8660.rlib: crates/oodb/src/lib.rs crates/oodb/src/api.rs crates/oodb/src/cache.rs crates/oodb/src/encode.rs crates/oodb/src/error.rs crates/oodb/src/net.rs crates/oodb/src/query.rs crates/oodb/src/schema.rs crates/oodb/src/segment.rs crates/oodb/src/store.rs crates/oodb/src/value.rs
+
+/root/repo/target/release/deps/libpse_oodb-007fcc60725a8660.rmeta: crates/oodb/src/lib.rs crates/oodb/src/api.rs crates/oodb/src/cache.rs crates/oodb/src/encode.rs crates/oodb/src/error.rs crates/oodb/src/net.rs crates/oodb/src/query.rs crates/oodb/src/schema.rs crates/oodb/src/segment.rs crates/oodb/src/store.rs crates/oodb/src/value.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/api.rs:
+crates/oodb/src/cache.rs:
+crates/oodb/src/encode.rs:
+crates/oodb/src/error.rs:
+crates/oodb/src/net.rs:
+crates/oodb/src/query.rs:
+crates/oodb/src/schema.rs:
+crates/oodb/src/segment.rs:
+crates/oodb/src/store.rs:
+crates/oodb/src/value.rs:

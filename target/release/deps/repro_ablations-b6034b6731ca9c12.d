@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablations-b6034b6731ca9c12.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/release/deps/repro_ablations-b6034b6731ca9c12: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_faults-9e7c5011b4bc409c.d: crates/bench/src/bin/repro_faults.rs
+
+/root/repo/target/release/deps/repro_faults-9e7c5011b4bc409c: crates/bench/src/bin/repro_faults.rs
+
+crates/bench/src/bin/repro_faults.rs:

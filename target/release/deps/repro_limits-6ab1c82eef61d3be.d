@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_limits-6ab1c82eef61d3be.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/release/deps/repro_limits-6ab1c82eef61d3be: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_migration-d2e98eb3a60b8b96.d: crates/bench/src/bin/repro_migration.rs
+
+/root/repo/target/release/deps/repro_migration-d2e98eb3a60b8b96: crates/bench/src/bin/repro_migration.rs
+
+crates/bench/src/bin/repro_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-5c5fe3b01df94316.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-5c5fe3b01df94316: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table2-efff883f57c39802.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/release/deps/repro_table2-efff883f57c39802: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table3-9fdfc664be1213f3.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/release/deps/repro_table3-9fdfc664be1213f3: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

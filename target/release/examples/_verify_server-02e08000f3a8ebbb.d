@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_server-02e08000f3a8ebbb.d: examples/_verify_server.rs
+
+/root/repo/target/release/examples/_verify_server-02e08000f3a8ebbb: examples/_verify_server.rs
+
+examples/_verify_server.rs:

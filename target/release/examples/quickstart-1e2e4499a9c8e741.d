@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1e2e4499a9c8e741.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1e2e4499a9c8e741: examples/quickstart.rs
+
+examples/quickstart.rs:
