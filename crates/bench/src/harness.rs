@@ -162,14 +162,7 @@ pub fn emit_json(
     rows: &[(&str, Measurement)],
     obs_delta: Option<&pse_obs::Snapshot>,
 ) -> std::path::PathBuf {
-    let path = match std::env::var_os("PSE_BENCH_JSON") {
-        Some(p) => std::path::PathBuf::from(p),
-        None => {
-            let dir = std::path::Path::new("target").join("bench-json");
-            let _ = std::fs::create_dir_all(&dir);
-            dir.join(format!("{name}.json"))
-        }
-    };
+    let path = json_out_path(name);
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"bench\": {},\n", pse_obs::json_string(name)));
     out.push_str("  \"measurements\": [\n");
@@ -179,6 +172,51 @@ pub fn emit_json(
             pse_obs::json_string(n),
             m.elapsed_s(),
             m.cpu_s(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(d) = obs_delta {
+        out.push_str(",\n  \"obs_delta\": ");
+        out.push_str(&d.to_json());
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+fn json_out_path(name: &str) -> std::path::PathBuf {
+    match std::env::var_os("PSE_BENCH_JSON") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let dir = std::path::Path::new("target").join("bench-json");
+            let _ = std::fs::create_dir_all(&dir);
+            dir.join(format!("{name}.json"))
+        }
+    }
+}
+
+/// Like [`emit_json`], for benchmarks whose results are named scalar
+/// fields per row (throughput, latency percentiles, ratios…) rather
+/// than wall/CPU measurement pairs. Same output location rules.
+pub fn emit_json_fields(
+    name: &str,
+    rows: &[(String, Vec<(&'static str, f64)>)],
+    obs_delta: Option<&pse_obs::Snapshot>,
+) -> std::path::PathBuf {
+    let path = json_out_path(name);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": {},\n", pse_obs::json_string(name)));
+    out.push_str("  \"rows\": [\n");
+    for (i, (n, fields)) in rows.iter().enumerate() {
+        out.push_str(&format!("    {{\"name\": {}", pse_obs::json_string(n)));
+        for (field, value) in fields {
+            out.push_str(&format!(", \"{field}\": {value:.6}"));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -24,14 +24,21 @@
 //! snapshot, so a warm depth=1 PROPFIND touches zero DBM files. Every
 //! mutating operation (PUT/DELETE/MKCOL/COPY/MOVE/PROPPATCH) drops the
 //! affected paths, so readers never observe stale metadata.
+//!
+//! Concurrency: operations synchronise through the sharded
+//! hierarchy-aware path locks of [`crate::pathlock`] — reads take
+//! shared locks on the touched path, point writes take exclusive locks
+//! on the touched path (plus a shared parent hold), and collection
+//! COPY/MOVE/DELETE take a subtree write intent. See DESIGN.md
+//! §Concurrency for the lock-ordering and cache-coherence argument.
 
 use crate::error::{DavError, Result};
+use crate::pathlock::{PathLockStats, PathLocks};
 use crate::property::{Property, PropertyName};
-use crate::repo::{require_parent, Repository, ResourceMeta};
-use parking_lot::Mutex;
+use crate::repo::{live_props_from_meta, PropPatchOp, Repository, ResourceMeta};
 use pse_cache::{CacheConfig, CacheStats, ShardedCache};
 use pse_dbm::{dbm_exists, open_dbm, remove_dbm, Dbm, DbmKind, StoreMode};
-use pse_http::uri::normalize_path;
+use pse_http::uri::{normalize_path, parent_path};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -68,6 +75,12 @@ pub struct FsConfig {
     /// Byte budget for the in-memory property cache; 0 disables it and
     /// restores the paper's open-query-close DBM access per request.
     pub property_cache_bytes: usize,
+    /// Number of path-lock shards (see [`crate::pathlock`]). More
+    /// shards mean fewer false conflicts between unrelated paths.
+    pub lock_shards: usize,
+    /// Ablation switch: route every path-lock acquisition through one
+    /// exclusive shard, restoring whole-repository serialisation.
+    pub global_lock: bool,
 }
 
 impl Default for FsConfig {
@@ -76,6 +89,8 @@ impl Default for FsConfig {
             dbm_kind: DbmKind::Gdbm,
             max_property_size: 10 * 1024 * 1024,
             property_cache_bytes: 4 * 1024 * 1024,
+            lock_shards: crate::pathlock::DEFAULT_SHARDS,
+            global_lock: false,
         }
     }
 }
@@ -107,13 +122,19 @@ impl PropSnapshot {
 pub struct FsRepository {
     root: PathBuf,
     config: FsConfig,
-    /// Coarse write lock: mutations and multi-step reads serialise here.
-    /// mod_dav relied on per-file flock; a single mutex gives the same
-    /// observable semantics for an embedded server.
-    guard: Mutex<()>,
+    /// Sharded hierarchy-aware path locks: readers of distinct paths
+    /// run in parallel, writers exclude only the paths they touch,
+    /// subtree operations take a whole-table write intent. mod_dav
+    /// relied on per-file flock; this gives the same observable
+    /// semantics without serialising the repository.
+    locks: Arc<PathLocks>,
     /// Property snapshots keyed by normalized DAV path. `Arc` so the
     /// cache can contribute its stats to a metric registry via a weak
     /// reference without tying the registry's lifetime to the repo's.
+    /// Coherence: snapshots are loaded and inserted under the path's
+    /// shard read lock, and every mutation invalidates under the same
+    /// shard's write lock, so a stale snapshot can never be re-inserted
+    /// over a newer state.
     prop_cache: Arc<ShardedCache<String, Arc<PropSnapshot>>>,
 }
 
@@ -125,10 +146,11 @@ impl FsRepository {
         let prop_cache = Arc::new(ShardedCache::new(CacheConfig::with_capacity(
             config.property_cache_bytes,
         )));
+        let locks = Arc::new(PathLocks::new(config.lock_shards, config.global_lock));
         Ok(FsRepository {
             root,
             config,
-            guard: Mutex::new(()),
+            locks,
             prop_cache,
         })
     }
@@ -142,6 +164,11 @@ impl FsRepository {
     /// (every mutating method must invalidate) through these.
     pub fn cache_stats(&self) -> CacheStats {
         self.prop_cache.stats()
+    }
+
+    /// Path-lock counters (acquisitions, contended plans, wait time).
+    pub fn lock_stats(&self) -> PathLockStats {
+        self.locks.stats()
     }
 
     /// The on-disk root.
@@ -196,6 +223,47 @@ impl FsRepository {
         } else {
             Err(DavError::NotFound(normalize_path(path)))
         }
+    }
+
+    /// Parent-collection check usable while shard locks are held: the
+    /// generic [`crate::repo::require_parent`] re-enters `exists`/`meta`
+    /// (which take their own locks — a re-entrancy deadlock against a
+    /// queued writer on the same shard), so locked sections use this
+    /// direct filesystem probe instead.
+    fn require_parent_unlocked(&self, norm: &str) -> Result<()> {
+        let parent = parent_path(norm);
+        if parent != norm && !self.fs_path(&parent).is_dir() {
+            return Err(DavError::Conflict(parent));
+        }
+        Ok(())
+    }
+
+    /// Metadata plus the property snapshot it was derived from, for
+    /// callers that need both under one lock hold. Assumes the caller
+    /// holds at least a read lock on `norm`'s shard.
+    fn meta_and_snapshot(&self, norm: &str) -> Result<(ResourceMeta, Arc<PropSnapshot>)> {
+        let fsp = self.check_exists(norm)?;
+        let m = fs::metadata(&fsp)?;
+        let fs_modified = m.modified().unwrap_or(SystemTime::now());
+        let snap = self.snapshot(norm)?;
+        // Fold the property database's mtime into the resource's
+        // modification time so PROPPATCH moves the ETag, not just PUT.
+        let modified = match snap.props_mtime {
+            Some(t) => fs_modified.max(t),
+            None => fs_modified,
+        };
+        let meta = ResourceMeta {
+            is_collection: m.is_dir(),
+            content_length: if m.is_file() { m.len() } else { 0 },
+            modified,
+            created: self.created_of(norm).unwrap_or(fs_modified),
+            content_type: if m.is_file() {
+                snap.content_type.clone()
+            } else {
+                None
+            },
+        };
+        Ok((meta, snap))
     }
 
     /// Recursive filesystem copy including `.DAV` property databases.
@@ -323,12 +391,59 @@ impl FsRepository {
         self.prop_cache
             .invalidate_matching(|k| *k == norm || k.starts_with(&prefix));
     }
+
+    /// Apply one PROPPATCH instruction to the property database,
+    /// journalling the prior raw value for rollback. The caller holds
+    /// the exclusive path lock.
+    fn patch_one(
+        &self,
+        norm: &str,
+        op: &PropPatchOp,
+        journal: &mut Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Result<()> {
+        match op {
+            PropPatchOp::Set(p) if p.name.is_live() => {
+                Err(DavError::BadRequest("cannot set a live property".into()))
+            }
+            PropPatchOp::Set(p) => {
+                let stored = p.to_storage();
+                if stored.len() > self.config.max_property_size {
+                    return Err(DavError::PropertyTooLarge {
+                        size: stored.len(),
+                        limit: self.config.max_property_size,
+                    });
+                }
+                let mut db = self
+                    .open_props(norm, true)?
+                    .expect("create=true always yields a database");
+                let key = p.name.storage_key();
+                let prior = db.fetch(&key)?;
+                db.store(&key, &stored, StoreMode::Replace)?;
+                journal.push((key, prior));
+                Ok(())
+            }
+            PropPatchOp::Remove(name) => {
+                let Some(mut db) = self.open_props(norm, false)? else {
+                    return Ok(());
+                };
+                let key = name.storage_key();
+                let prior = db.fetch(&key)?;
+                if db.delete(&key)? {
+                    journal.push((key, prior));
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 impl Repository for FsRepository {
     fn register_obs(&self, registry: &Arc<pse_obs::Registry>) {
         // Property-cache hit/miss/eviction traffic under `dav.prop_cache.*`.
         self.prop_cache.register_obs(registry, "dav.prop_cache");
+        // Path-lock acquisition/contention counters and the live
+        // lock-wait histogram under `dav.pathlock.*`.
+        self.locks.register_obs(registry, "dav.pathlock");
         // The DBM engines keep process-wide statics (handles are opened
         // and closed per operation); map them in as `dbm.*`.
         registry.register_source("dbm", |snap| {
@@ -351,48 +466,30 @@ impl Repository for FsRepository {
     }
 
     fn exists(&self, path: &str) -> bool {
+        let _g = self.locks.read(path);
         self.fs_path(path).exists()
     }
 
     fn meta(&self, path: &str) -> Result<ResourceMeta> {
-        let fsp = self.check_exists(path)?;
-        let m = fs::metadata(&fsp)?;
-        let fs_modified = m.modified().unwrap_or(SystemTime::now());
-        let snap = self.snapshot(path)?;
-        // Fold the property database's mtime into the resource's
-        // modification time so PROPPATCH moves the ETag, not just PUT.
-        let modified = match snap.props_mtime {
-            Some(t) => fs_modified.max(t),
-            None => fs_modified,
-        };
-        Ok(ResourceMeta {
-            is_collection: m.is_dir(),
-            content_length: if m.is_file() { m.len() } else { 0 },
-            modified,
-            created: self.created_of(path).unwrap_or(fs_modified),
-            content_type: if m.is_file() {
-                snap.content_type.clone()
-            } else {
-                None
-            },
-        })
+        let norm = normalize_path(path);
+        let _g = self.locks.read(&norm);
+        Ok(self.meta_and_snapshot(&norm)?.0)
     }
 
     fn get(&self, path: &str) -> Result<Vec<u8>> {
-        let fsp = self.check_exists(path)?;
+        let norm = normalize_path(path);
+        let _g = self.locks.read(&norm);
+        let fsp = self.check_exists(&norm)?;
         if fsp.is_dir() {
-            return Err(DavError::Conflict(format!(
-                "{} is a collection",
-                normalize_path(path)
-            )));
+            return Err(DavError::Conflict(format!("{norm} is a collection")));
         }
         Ok(fs::read(fsp)?)
     }
 
     fn put(&self, path: &str, data: &[u8], content_type: Option<&str>) -> Result<bool> {
-        let _g = self.guard.lock();
         let norm = normalize_path(path);
-        require_parent(self, &norm)?;
+        let _g = self.locks.write_with_parent(&norm);
+        self.require_parent_unlocked(&norm)?;
         let fsp = self.fs_path(&norm);
         if fsp.is_dir() {
             return Err(DavError::Conflict(format!("{norm} is a collection")));
@@ -410,9 +507,9 @@ impl Repository for FsRepository {
     }
 
     fn mkcol(&self, path: &str) -> Result<()> {
-        let _g = self.guard.lock();
         let norm = normalize_path(path);
-        require_parent(self, &norm)?;
+        let _g = self.locks.write_with_parent(&norm);
+        self.require_parent_unlocked(&norm)?;
         let fsp = self.fs_path(&norm);
         if fsp.exists() {
             return Err(DavError::PreconditionFailed(format!("{norm} exists")));
@@ -423,50 +520,89 @@ impl Repository for FsRepository {
     }
 
     fn delete(&self, path: &str) -> Result<()> {
-        let _g = self.guard.lock();
-        let fsp = self.check_exists(path)?;
-        if fsp.is_dir() {
-            fs::remove_dir_all(&fsp)?;
-        } else {
-            fs::remove_file(&fsp)?;
-            self.delete_doc_props(path)?;
+        let norm = normalize_path(path);
+        // A document delete needs only its own path (plus a shared hold
+        // on the parent); a collection delete touches an unenumerable
+        // subtree and takes the whole-table write intent. The
+        // classification is rechecked under the chosen locks and the
+        // acquisition retried if a concurrent operation changed it.
+        loop {
+            let was_dir = self.fs_path(&norm).is_dir();
+            let _g = if was_dir {
+                self.locks.subtree()
+            } else {
+                self.locks.write_with_parent(&norm)
+            };
+            if self.fs_path(&norm).is_dir() != was_dir {
+                continue;
+            }
+            let fsp = self.check_exists(&norm)?;
+            if was_dir {
+                fs::remove_dir_all(&fsp)?;
+            } else {
+                fs::remove_file(&fsp)?;
+                self.delete_doc_props(&norm)?;
+            }
+            self.invalidate_tree(&norm);
+            return Ok(());
         }
-        self.invalidate_tree(path);
-        Ok(())
     }
 
     fn copy(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
-        let _g = self.guard.lock();
         let (src, dst) = (normalize_path(src), normalize_path(dst));
-        let sfs = self.check_exists(&src)?;
-        require_parent(self, &dst)?;
-        let dfs = self.fs_path(&dst);
-        let existed = dfs.exists();
-        if existed && !overwrite {
-            return Err(DavError::PreconditionFailed(format!("{dst} exists")));
-        }
-        if existed {
-            if dfs.is_dir() {
-                fs::remove_dir_all(&dfs)?;
+        loop {
+            let subtree =
+                self.fs_path(&src).is_dir() || self.fs_path(&dst).is_dir();
+            let _g = if subtree {
+                self.locks.subtree()
             } else {
-                fs::remove_file(&dfs)?;
-                self.delete_doc_props(&dst)?;
+                self.locks.copy_doc(&src, &dst)
+            };
+            if (self.fs_path(&src).is_dir() || self.fs_path(&dst).is_dir()) != subtree {
+                continue;
             }
+            let sfs = self.check_exists(&src)?;
+            self.require_parent_unlocked(&dst)?;
+            let dfs = self.fs_path(&dst);
+            let existed = dfs.exists();
+            if existed && !overwrite {
+                return Err(DavError::PreconditionFailed(format!("{dst} exists")));
+            }
+            if existed {
+                if dfs.is_dir() {
+                    fs::remove_dir_all(&dfs)?;
+                } else {
+                    fs::remove_file(&dfs)?;
+                    self.delete_doc_props(&dst)?;
+                }
+            }
+            Self::copy_tree(&sfs, &dfs)?;
+            if sfs.is_file() {
+                self.copy_doc_props(&src, &dst)?;
+            }
+            self.invalidate_tree(&dst);
+            return Ok(!existed);
         }
-        Self::copy_tree(&sfs, &dfs)?;
-        if sfs.is_file() {
-            self.copy_doc_props(&src, &dst)?;
-        }
-        self.invalidate_tree(&dst);
-        Ok(!existed)
     }
 
     fn rename(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
-        {
-            let _g = self.guard.lock();
-            let (srcn, dstn) = (normalize_path(src), normalize_path(dst));
+        let (srcn, dstn) = (normalize_path(src), normalize_path(dst));
+        loop {
+            let subtree =
+                self.fs_path(&srcn).is_dir() || self.fs_path(&dstn).is_dir();
+            // A document rename is two directory events (unlink + link);
+            // write-locking both parents keeps concurrent listings from
+            // observing the halfway state.
+            let _g = if subtree {
+                self.locks.subtree()
+            } else {
+                self.locks.rename_pair(&srcn, &dstn)
+            };
+            if (self.fs_path(&srcn).is_dir() || self.fs_path(&dstn).is_dir()) != subtree {
+                continue;
+            }
             let sfs = self.check_exists(&srcn)?;
-            require_parent(self, &dstn)?;
+            self.require_parent_unlocked(&dstn)?;
             let dfs = self.fs_path(&dstn);
             let existed = dfs.exists();
             if existed && !overwrite {
@@ -488,17 +624,16 @@ impl Repository for FsRepository {
             }
             self.invalidate_tree(&srcn);
             self.invalidate_tree(&dstn);
-            Ok(!existed)
+            return Ok(!existed);
         }
     }
 
     fn list(&self, path: &str) -> Result<Vec<String>> {
-        let fsp = self.check_exists(path)?;
+        let norm = normalize_path(path);
+        let _g = self.locks.read(&norm);
+        let fsp = self.check_exists(&norm)?;
         if !fsp.is_dir() {
-            return Err(DavError::Conflict(format!(
-                "{} is not a collection",
-                normalize_path(path)
-            )));
+            return Err(DavError::Conflict(format!("{norm} is not a collection")));
         }
         let mut out = Vec::new();
         for entry in fs::read_dir(&fsp)? {
@@ -512,8 +647,10 @@ impl Repository for FsRepository {
     }
 
     fn get_prop(&self, path: &str, name: &PropertyName) -> Result<Option<Property>> {
-        self.check_exists(path)?;
-        let snap = self.snapshot(path)?;
+        let norm = normalize_path(path);
+        let _g = self.locks.read(&norm);
+        self.check_exists(&norm)?;
+        let snap = self.snapshot(&norm)?;
         match snap.props.binary_search_by(|(n, _)| n.cmp(name)) {
             Ok(i) => Ok(Some(Property::from_storage(
                 name.clone(),
@@ -523,15 +660,48 @@ impl Repository for FsRepository {
         }
     }
 
+    fn get_props(&self, path: &str, names: &[PropertyName]) -> Result<Vec<Option<Property>>> {
+        // One lock hold, one snapshot: a concurrent PROPPATCH can never
+        // produce a torn multi-property read.
+        let norm = normalize_path(path);
+        let _g = self.locks.read(&norm);
+        self.check_exists(&norm)?;
+        let snap = self.snapshot(&norm)?;
+        names
+            .iter()
+            .map(|name| match snap.props.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => Property::from_storage(name.clone(), &snap.props[i].1).map(Some),
+                Err(_) => Ok(None),
+            })
+            .collect()
+    }
+
     fn list_props(&self, path: &str) -> Result<Vec<PropertyName>> {
-        self.check_exists(path)?;
-        let snap = self.snapshot(path)?;
+        let norm = normalize_path(path);
+        let _g = self.locks.read(&norm);
+        self.check_exists(&norm)?;
+        let snap = self.snapshot(&norm)?;
         Ok(snap.props.iter().map(|(n, _)| n.clone()).collect())
     }
 
+    fn all_props(&self, path: &str) -> Result<Vec<Property>> {
+        // Live + dead properties from a single metadata read and a
+        // single snapshot under one lock hold — the view PROPFIND
+        // serves can never interleave with a writer on this path.
+        let norm = normalize_path(path);
+        let _g = self.locks.read(&norm);
+        let (meta, snap) = self.meta_and_snapshot(&norm)?;
+        let mut props = live_props_from_meta(&norm, &meta);
+        for (name, data) in &snap.props {
+            props.push(Property::from_storage(name.clone(), data)?);
+        }
+        Ok(props)
+    }
+
     fn set_prop(&self, path: &str, prop: &Property) -> Result<()> {
-        let _g = self.guard.lock();
-        self.check_exists(path)?;
+        let norm = normalize_path(path);
+        let _g = self.locks.write(&norm);
+        self.check_exists(&norm)?;
         let stored = prop.to_storage();
         if stored.len() > self.config.max_property_size {
             return Err(DavError::PropertyTooLarge {
@@ -540,27 +710,71 @@ impl Repository for FsRepository {
             });
         }
         let mut db = self
-            .open_props(path, true)?
+            .open_props(&norm, true)?
             .expect("create=true always yields a database");
         db.store(&prop.name.storage_key(), &stored, StoreMode::Replace)?;
-        self.invalidate_path(path);
+        self.invalidate_path(&norm);
         Ok(())
     }
 
     fn remove_prop(&self, path: &str, name: &PropertyName) -> Result<bool> {
-        let _g = self.guard.lock();
-        self.check_exists(path)?;
-        let Some(mut db) = self.open_props(path, false)? else {
+        let norm = normalize_path(path);
+        let _g = self.locks.write(&norm);
+        self.check_exists(&norm)?;
+        let Some(mut db) = self.open_props(&norm, false)? else {
             return Ok(false);
         };
         let removed = db.delete(&name.storage_key())?;
         if removed {
-            self.invalidate_path(path);
+            self.invalidate_path(&norm);
         }
         Ok(removed)
     }
 
+    fn patch_props(
+        &self,
+        path: &str,
+        ops: &[PropPatchOp],
+    ) -> std::result::Result<(), (usize, DavError)> {
+        // The whole instruction list applies under one exclusive path
+        // lock with an undo journal of raw stored values, so readers
+        // (excluded for the duration) observe the property set moving
+        // atomically from the old state to the new — or staying put.
+        let norm = normalize_path(path);
+        let _g = self.locks.write(&norm);
+        self.check_exists(&norm).map_err(|e| (0, e))?;
+        let mut journal: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::new();
+        let mut failure: Option<(usize, DavError)> = None;
+        for (i, op) in ops.iter().enumerate() {
+            if let Err(e) = self.patch_one(&norm, op, &mut journal) {
+                failure = Some((i, e));
+                break;
+            }
+        }
+        let result = match failure {
+            None => Ok(()),
+            Some(fail) => {
+                // Roll back in reverse order; the database must exist if
+                // anything was journalled.
+                if !journal.is_empty() {
+                    if let Ok(Some(mut db)) = self.open_props(&norm, false) {
+                        for (key, prior) in journal.into_iter().rev() {
+                            let _ = match prior {
+                                Some(v) => db.store(&key, &v, StoreMode::Replace).map(|_| true),
+                                None => db.delete(&key),
+                            };
+                        }
+                    }
+                }
+                Err(fail)
+            }
+        };
+        self.invalidate_path(&norm);
+        result
+    }
+
     fn disk_usage(&self) -> Result<u64> {
+        let _g = self.locks.subtree_read();
         Self::du(&self.root)
     }
 }
@@ -864,6 +1078,84 @@ mod tests {
             r.put("/no/such/dir/doc", b"x", None),
             Err(DavError::Conflict(_))
         ));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn lock_stats_count_acquisitions() {
+        let (r, d) = repo(DbmKind::Gdbm);
+        let before = r.lock_stats().acquisitions;
+        r.put("/doc", b"x", None).unwrap();
+        r.get("/doc").unwrap();
+        r.delete("/doc").unwrap();
+        let after = r.lock_stats().acquisitions;
+        assert!(after >= before + 3, "each operation takes one plan");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn global_lock_ablation_stays_correct() {
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("pse-fsrepo-glob-{n}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        let r = FsRepository::create(
+            &d,
+            FsConfig {
+                global_lock: true,
+                ..FsConfig::default()
+            },
+        )
+        .unwrap();
+        r.mkcol("/c").unwrap();
+        r.put("/c/doc", b"hello", Some("text/plain")).unwrap();
+        let name = PropertyName::new("urn:e", "k");
+        r.set_prop("/c/doc", &Property::text(name.clone(), "v")).unwrap();
+        r.rename("/c/doc", "/c/doc2", false).unwrap();
+        assert_eq!(r.get("/c/doc2").unwrap(), b"hello");
+        assert_eq!(r.get_prop("/c/doc2", &name).unwrap().unwrap().text_value(), "v");
+        r.delete("/c").unwrap();
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn patch_props_is_all_or_nothing() {
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("pse-fsrepo-patch-{n}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        let r = FsRepository::create(
+            &d,
+            FsConfig {
+                max_property_size: 128,
+                ..FsConfig::default()
+            },
+        )
+        .unwrap();
+        r.put("/doc", b"x", None).unwrap();
+        let a = PropertyName::new("u", "a");
+        let b = PropertyName::new("u", "b");
+        r.set_prop("/doc", &Property::text(a.clone(), "old")).unwrap();
+
+        // Second instruction fails (over the size cap): the first must
+        // roll back to its prior value.
+        let ops = vec![
+            PropPatchOp::Set(Property::text(a.clone(), "new")),
+            PropPatchOp::Set(Property::text(b.clone(), &"v".repeat(200))),
+        ];
+        let err = r.patch_props("/doc", &ops).unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(matches!(err.1, DavError::PropertyTooLarge { .. }));
+        assert_eq!(r.get_prop("/doc", &a).unwrap().unwrap().text_value(), "old");
+        assert!(r.get_prop("/doc", &b).unwrap().is_none());
+
+        // A clean batch applies everything.
+        let ops = vec![
+            PropPatchOp::Set(Property::text(a.clone(), "new")),
+            PropPatchOp::Remove(PropertyName::new("u", "absent")),
+            PropPatchOp::Set(Property::text(b.clone(), "bv")),
+        ];
+        r.patch_props("/doc", &ops).unwrap();
+        assert_eq!(r.get_prop("/doc", &a).unwrap().unwrap().text_value(), "new");
+        assert_eq!(r.get_prop("/doc", &b).unwrap().unwrap().text_value(), "bv");
         fs::remove_dir_all(&d).unwrap();
     }
 }

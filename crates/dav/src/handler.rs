@@ -13,7 +13,7 @@ use crate::lock::{LockManager, LockScope};
 use crate::multistatus::{Multistatus, PropStat};
 use crate::order;
 use crate::property::{Property, PropertyName, PropfindKind, DAV_NS};
-use crate::repo::Repository;
+use crate::repo::{PropPatchOp, Repository};
 use crate::search;
 use crate::version::VersionStore;
 use pse_http::{Method, Request, Response, StatusCode};
@@ -405,23 +405,34 @@ impl<R: Repository> DavHandler<R> {
                 }])
             }
             PropfindKind::Named(names) => {
+                let live = self.repo.live_props(path)?;
+                // Resolve lock and live names inline, then batch every
+                // remaining name into ONE repository read so the dead
+                // properties come from a single consistent snapshot — a
+                // concurrent PROPPATCH can never tear this response.
+                let mut resolved: Vec<Option<Property>> = vec![None; names.len()];
+                let mut dead_idx = Vec::new();
+                let mut dead_names = Vec::new();
+                for (i, name) in names.iter().enumerate() {
+                    if name == &PropertyName::dav("lockdiscovery") {
+                        resolved[i] = Some(self.lockdiscovery(path));
+                    } else if name == &PropertyName::dav("supportedlock") {
+                        resolved[i] = Some(supported_lock_property());
+                    } else if let Some(p) = live.iter().find(|p| &p.name == name) {
+                        resolved[i] = Some(p.clone());
+                    } else {
+                        dead_idx.push(i);
+                        dead_names.push(name.clone());
+                    }
+                }
+                let dead = self.repo.get_props(path, &dead_names)?;
+                for (i, p) in dead_idx.into_iter().zip(dead) {
+                    resolved[i] = p;
+                }
                 let mut found = Vec::new();
                 let mut missing = Vec::new();
-                let live = self.repo.live_props(path)?;
-                for name in names {
-                    if name == &PropertyName::dav("lockdiscovery") {
-                        found.push(self.lockdiscovery(path));
-                        continue;
-                    }
-                    if name == &PropertyName::dav("supportedlock") {
-                        found.push(supported_lock_property());
-                        continue;
-                    }
-                    if let Some(p) = live.iter().find(|p| &p.name == name) {
-                        found.push(p.clone());
-                        continue;
-                    }
-                    match self.repo.get_prop(path, name)? {
+                for (slot, name) in resolved.into_iter().zip(names) {
+                    match slot {
                         Some(p) => found.push(p),
                         None => missing.push(Property::text(name.clone(), "")),
                     }
@@ -473,8 +484,14 @@ impl<R: Repository> DavHandler<R> {
             }
         }
         for p in paths {
-            let propstats = self.propstats_for(&p, &kind)?;
-            ms.push_propstats(&p, propstats);
+            // A member deleted between the walk and this read is
+            // reported as its own 404 row, not a failed response — under
+            // concurrent writers the rest of the tree is still good.
+            match self.propstats_for(&p, &kind) {
+                Ok(propstats) => ms.push_propstats(&p, propstats),
+                Err(DavError::NotFound(_)) => ms.push_status(&p, StatusCode::NOT_FOUND),
+                Err(e) => return Err(e),
+            }
         }
         Ok(Response::new(StatusCode::MULTI_STATUS)
             .with_header("ETag", state_etag)
@@ -491,7 +508,13 @@ impl<R: Repository> DavHandler<R> {
     ) -> Result<String> {
         let mut state = Vec::new();
         for p in paths {
-            let meta = self.repo.meta(p)?;
+            let meta = match self.repo.meta(p) {
+                Ok(m) => m,
+                // Vanished mid-walk: it contributes nothing to the
+                // validator, matching the 404 row the body will carry.
+                Err(DavError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            };
             state.extend_from_slice(p.as_bytes());
             state.push(0);
             state.extend_from_slice(meta.etag().as_bytes());
@@ -533,11 +556,7 @@ impl<R: Repository> DavHandler<R> {
         }
 
         // Collect the operations in document order.
-        enum Op {
-            Set(Property),
-            Remove(PropertyName),
-        }
-        let mut ops = Vec::new();
+        let mut ops: Vec<PropPatchOp> = Vec::new();
         for child in root.children_elems() {
             let is_set = child.is(Some(DAV_NS), "set");
             let is_remove = child.is(Some(DAV_NS), "remove");
@@ -549,9 +568,9 @@ impl<R: Repository> DavHandler<R> {
                 .ok_or_else(|| DavError::BadRequest("set/remove without prop".into()))?;
             for value in prop.children_elems() {
                 if is_set {
-                    ops.push(Op::Set(Property::from_element(value.clone())));
+                    ops.push(PropPatchOp::Set(Property::from_element(value.clone())));
                 } else {
-                    ops.push(Op::Remove(PropertyName::new(
+                    ops.push(PropPatchOp::Remove(PropertyName::new(
                         value.namespace().unwrap_or(""),
                         &value.name.local,
                     )));
@@ -560,83 +579,37 @@ impl<R: Repository> DavHandler<R> {
         }
 
         // RFC 2518 §8.2: instructions are applied in order and the whole
-        // request is atomic. Save prior values for rollback.
-        let mut journal: Vec<(PropertyName, Option<Property>)> = Vec::new();
-        let mut failed: Option<(PropertyName, StatusCode)> = None;
-        let mut applied_names: Vec<PropertyName> = Vec::new();
-        for op in &ops {
-            let (name, result): (PropertyName, Result<()>) = match op {
-                Op::Set(p) => {
-                    if p.name.is_live() {
-                        (
-                            p.name.clone(),
-                            Err(DavError::BadRequest("cannot set a live property".into())),
-                        )
-                    } else {
-                        let prior = self.repo.get_prop(path, &p.name)?;
-                        let r = self.repo.set_prop(path, p);
-                        if r.is_ok() {
-                            journal.push((p.name.clone(), prior));
-                        }
-                        (p.name.clone(), r)
-                    }
-                }
-                Op::Remove(name) => {
-                    let prior = self.repo.get_prop(path, name)?;
-                    let r = self.repo.remove_prop(path, name).map(|_| ());
-                    if r.is_ok() {
-                        journal.push((name.clone(), prior));
-                    }
-                    (name.clone(), r)
-                }
-            };
-            match result {
-                Ok(()) => applied_names.push(name),
-                Err(e) => {
-                    failed = Some((name, e.status()));
-                    break;
-                }
-            }
-        }
-
+        // request is atomic. The repository applies (or rolls back) the
+        // batch under a single write lock, so a concurrent PROPFIND sees
+        // the state before the patch or after it — never in between.
         let mut ms = Multistatus::new();
-        if let Some((failed_name, failed_status)) = failed {
-            // Roll back everything applied so far.
-            for (name, prior) in journal.into_iter().rev() {
-                match prior {
-                    Some(p) => {
-                        let _ = self.repo.set_prop(path, &p);
-                    }
-                    None => {
-                        let _ = self.repo.remove_prop(path, &name);
-                    }
-                }
-            }
-            let mut propstats = vec![PropStat {
-                props: vec![Property::text(failed_name, "")],
-                status: failed_status,
-            }];
-            if !applied_names.is_empty() {
-                propstats.push(PropStat {
-                    props: applied_names
-                        .into_iter()
-                        .map(|n| Property::text(n, ""))
-                        .collect(),
-                    status: StatusCode::FAILED_DEPENDENCY,
-                });
-            }
-            ms.push_propstats(path, propstats);
-        } else {
-            ms.push_propstats(
+        match self.repo.patch_props(path, &ops) {
+            Ok(()) => ms.push_propstats(
                 path,
                 vec![PropStat {
-                    props: applied_names
-                        .into_iter()
-                        .map(|n| Property::text(n, ""))
+                    props: ops
+                        .iter()
+                        .map(|op| Property::text(op.name().clone(), ""))
                         .collect(),
                     status: StatusCode::OK,
                 }],
-            );
+            ),
+            Err((failed_idx, e)) => {
+                let mut propstats = vec![PropStat {
+                    props: vec![Property::text(ops[failed_idx].name().clone(), "")],
+                    status: e.status(),
+                }];
+                if failed_idx > 0 {
+                    propstats.push(PropStat {
+                        props: ops[..failed_idx]
+                            .iter()
+                            .map(|op| Property::text(op.name().clone(), ""))
+                            .collect(),
+                        status: StatusCode::FAILED_DEPENDENCY,
+                    });
+                }
+                ms.push_propstats(path, propstats);
+            }
         }
         Ok(Response::new(StatusCode::MULTI_STATUS).with_xml_body(ms.to_xml()))
     }

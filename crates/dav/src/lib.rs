@@ -56,6 +56,7 @@ pub mod lock;
 pub mod memrepo;
 pub mod multistatus;
 pub mod order;
+pub mod pathlock;
 pub mod property;
 pub mod repo;
 pub mod search;
@@ -70,6 +71,7 @@ pub use fsrepo::{FsConfig, FsRepository};
 pub use handler::DavHandler;
 pub use memrepo::MemRepository;
 pub use multistatus::Multistatus;
+pub use pathlock::{PathGuard, PathLocks};
 pub use property::{Property, PropertyName};
 pub use repo::Repository;
 pub use translate::{SchemaMap, TranslatingRepository};

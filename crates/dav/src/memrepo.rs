@@ -1,10 +1,20 @@
 //! An in-memory repository — the reference implementation of
 //! [`Repository`] used by unit tests and as the semantic model the
 //! filesystem repository is checked against.
+//!
+//! Concurrency mirrors [`crate::fsrepo::FsRepository`]: operations
+//! acquire the same sharded hierarchy-aware path-lock plans (see
+//! [`crate::pathlock`]) before touching the node table, so tests that
+//! model concurrent workloads against `MemRepository` exercise the
+//! same locking protocol the filesystem repository runs. The node
+//! table itself sits behind one short-lived mutex, and every compound
+//! operation (notably MOVE = copy + delete) executes in a *single*
+//! critical section — no observer can see a move's halfway state.
 
 use crate::error::{DavError, Result};
+use crate::pathlock::PathLocks;
 use crate::property::{Property, PropertyName};
-use crate::repo::{require_parent, Repository, ResourceMeta};
+use crate::repo::{live_props_from_meta, PropPatchOp, Repository, ResourceMeta};
 use parking_lot::Mutex;
 use pse_http::uri::{normalize_path, parent_path};
 use std::collections::{BTreeMap, HashMap};
@@ -32,19 +42,53 @@ impl MemNode {
             props: BTreeMap::new(),
         }
     }
+
+    fn meta(&self) -> ResourceMeta {
+        ResourceMeta {
+            is_collection: self.is_collection,
+            content_length: self.data.len() as u64,
+            modified: self.modified,
+            created: self.created,
+            content_type: self.content_type.clone(),
+        }
+    }
 }
 
 /// A heap-backed DAV repository.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemRepository {
     nodes: Mutex<HashMap<String, MemNode>>,
+    locks: PathLocks,
+}
+
+impl Default for MemRepository {
+    /// An empty repository — no root collection (matching the old
+    /// derived `Default`); use [`MemRepository::new`] for a usable one.
+    fn default() -> MemRepository {
+        MemRepository {
+            nodes: Mutex::new(HashMap::new()),
+            locks: PathLocks::new(crate::pathlock::DEFAULT_SHARDS, false),
+        }
+    }
 }
 
 impl MemRepository {
     /// A repository containing only the root collection.
     pub fn new() -> MemRepository {
+        let repo = MemRepository::default();
+        repo.nodes
+            .lock()
+            .insert("/".to_owned(), MemNode::collection());
+        repo
+    }
+
+    /// Like [`new`](MemRepository::new) with an explicit lock-table
+    /// shape — `global` restores whole-repository serialisation (the
+    /// ablation baseline the concurrency tests compare against).
+    pub fn with_locks(shards: usize, global: bool) -> MemRepository {
         let repo = MemRepository {
             nodes: Mutex::new(HashMap::new()),
+            locks: PathLocks::new(shards, global),
         };
         repo.nodes
             .lock()
@@ -52,41 +96,99 @@ impl MemRepository {
         repo
     }
 
+    /// The path-lock table (tests assert on its counters).
+    pub fn path_locks(&self) -> &PathLocks {
+        &self.locks
+    }
+
     fn descendants(nodes: &HashMap<String, MemNode>, path: &str) -> Vec<String> {
         nodes
             .keys()
-            .filter(|p|
-
+            .filter(|p| {
                 p.as_str() != path
                     && p.starts_with(path)
-                    && (path == "/" || p.as_bytes().get(path.len()) == Some(&b'/')))
+                    && (path == "/" || p.as_bytes().get(path.len()) == Some(&b'/'))
+            })
             .cloned()
             .collect()
+    }
+
+    /// Is `path` a collection right now? (`None` when absent.) Used to
+    /// plan lock acquisition; rechecked under the acquired locks.
+    fn classify(&self, path: &str) -> Option<bool> {
+        self.nodes.lock().get(path).map(|n| n.is_collection)
+    }
+
+    fn require_parent_in(nodes: &HashMap<String, MemNode>, path: &str) -> Result<()> {
+        let parent = parent_path(path);
+        if parent != path
+            && !nodes.get(&parent).map(|n| n.is_collection).unwrap_or(false)
+        {
+            return Err(DavError::Conflict(parent));
+        }
+        Ok(())
+    }
+
+    /// Remove `path` and its subtree from the table.
+    fn delete_in(nodes: &mut HashMap<String, MemNode>, path: &str) -> Result<()> {
+        if nodes.remove(path).is_none() {
+            return Err(DavError::NotFound(path.to_owned()));
+        }
+        for p in Self::descendants(nodes, path) {
+            nodes.remove(&p);
+        }
+        Ok(())
+    }
+
+    /// Copy `src`'s subtree over `dst` inside one critical section.
+    fn copy_in(
+        nodes: &mut HashMap<String, MemNode>,
+        src: &str,
+        dst: &str,
+        overwrite: bool,
+    ) -> Result<bool> {
+        if !nodes.contains_key(src) {
+            return Err(DavError::NotFound(src.to_owned()));
+        }
+        Self::require_parent_in(nodes, dst)?;
+        let existed = nodes.contains_key(dst);
+        if existed && !overwrite {
+            return Err(DavError::PreconditionFailed(format!("{dst} exists")));
+        }
+        if existed {
+            Self::delete_in(nodes, dst)?;
+        }
+        let mut to_copy = vec![src.to_owned()];
+        to_copy.extend(Self::descendants(nodes, src));
+        for p in to_copy {
+            let node = nodes.get(&p).expect("listed above").clone();
+            let suffix = &p[src.len()..];
+            nodes.insert(format!("{dst}{suffix}"), node);
+        }
+        Ok(!existed)
     }
 }
 
 impl Repository for MemRepository {
     fn exists(&self, path: &str) -> bool {
-        self.nodes.lock().contains_key(&normalize_path(path))
+        let path = normalize_path(path);
+        let _g = self.locks.read(&path);
+        self.nodes.lock().contains_key(&path)
     }
 
     fn meta(&self, path: &str) -> Result<ResourceMeta> {
         let path = normalize_path(path);
+        let _g = self.locks.read(&path);
         let nodes = self.nodes.lock();
         let n = nodes
             .get(&path)
             .ok_or_else(|| DavError::NotFound(path.clone()))?;
-        Ok(ResourceMeta {
-            is_collection: n.is_collection,
-            content_length: n.data.len() as u64,
-            modified: n.modified,
-            created: n.created,
-            content_type: n.content_type.clone(),
-        })
+        Ok(n.meta())
     }
 
     fn get(&self, path: &str) -> Result<Vec<u8>> {
         let path = normalize_path(path);
+        let _g = self.locks.read(&path);
         let nodes = self.nodes.lock();
         let n = nodes
             .get(&path)
@@ -99,8 +201,9 @@ impl Repository for MemRepository {
 
     fn put(&self, path: &str, data: &[u8], content_type: Option<&str>) -> Result<bool> {
         let path = normalize_path(path);
-        require_parent(self, &path)?;
+        let _g = self.locks.write_with_parent(&path);
         let mut nodes = self.nodes.lock();
+        Self::require_parent_in(&nodes, &path)?;
         let now = SystemTime::now();
         match nodes.get_mut(&path) {
             Some(n) if n.is_collection => {
@@ -133,8 +236,9 @@ impl Repository for MemRepository {
 
     fn mkcol(&self, path: &str) -> Result<()> {
         let path = normalize_path(path);
-        require_parent(self, &path)?;
+        let _g = self.locks.write_with_parent(&path);
         let mut nodes = self.nodes.lock();
+        Self::require_parent_in(&nodes, &path)?;
         if nodes.contains_key(&path) {
             return Err(DavError::PreconditionFailed(format!("{path} exists")));
         }
@@ -144,48 +248,68 @@ impl Repository for MemRepository {
 
     fn delete(&self, path: &str) -> Result<()> {
         let path = normalize_path(path);
-        let mut nodes = self.nodes.lock();
-        if nodes.remove(&path).is_none() {
-            return Err(DavError::NotFound(path));
+        loop {
+            let was_collection = self.classify(&path).unwrap_or(false);
+            let _g = if was_collection {
+                self.locks.subtree()
+            } else {
+                self.locks.write_with_parent(&path)
+            };
+            let mut nodes = self.nodes.lock();
+            if nodes.get(&path).map(|n| n.is_collection).unwrap_or(false) != was_collection {
+                continue;
+            }
+            return Self::delete_in(&mut nodes, &path);
         }
-        for p in Self::descendants(&nodes, &path) {
-            nodes.remove(&p);
-        }
-        Ok(())
     }
 
     fn copy(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
         let (src, dst) = (normalize_path(src), normalize_path(dst));
-        if !self.exists(&src) {
-            return Err(DavError::NotFound(src));
+        loop {
+            let subtree = self.classify(&src).unwrap_or(false)
+                || self.classify(&dst).unwrap_or(false);
+            let _g = if subtree {
+                self.locks.subtree()
+            } else {
+                self.locks.copy_doc(&src, &dst)
+            };
+            let mut nodes = self.nodes.lock();
+            let now_subtree = nodes.get(&src).map(|n| n.is_collection).unwrap_or(false)
+                || nodes.get(&dst).map(|n| n.is_collection).unwrap_or(false);
+            if now_subtree != subtree {
+                continue;
+            }
+            return Self::copy_in(&mut nodes, &src, &dst, overwrite);
         }
-        require_parent(self, &dst)?;
-        let existed = self.exists(&dst);
-        if existed && !overwrite {
-            return Err(DavError::PreconditionFailed(format!("{dst} exists")));
-        }
-        if existed {
-            self.delete(&dst)?;
-        }
-        let mut nodes = self.nodes.lock();
-        let mut to_copy = vec![src.clone()];
-        to_copy.extend(Self::descendants(&nodes, &src));
-        for p in to_copy {
-            let node = nodes.get(&p).expect("listed above").clone();
-            let suffix = &p[src.len()..];
-            nodes.insert(format!("{dst}{suffix}"), node);
-        }
-        Ok(!existed)
     }
 
     fn rename(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
-        let created = self.copy(src, dst, overwrite)?;
-        self.delete(&normalize_path(src))?;
-        Ok(created)
+        let (src, dst) = (normalize_path(src), normalize_path(dst));
+        loop {
+            let subtree = self.classify(&src).unwrap_or(false)
+                || self.classify(&dst).unwrap_or(false);
+            let _g = if subtree {
+                self.locks.subtree()
+            } else {
+                self.locks.rename_pair(&src, &dst)
+            };
+            // Copy + delete in ONE critical section: no observer can
+            // see the resource at both paths (or neither).
+            let mut nodes = self.nodes.lock();
+            let now_subtree = nodes.get(&src).map(|n| n.is_collection).unwrap_or(false)
+                || nodes.get(&dst).map(|n| n.is_collection).unwrap_or(false);
+            if now_subtree != subtree {
+                continue;
+            }
+            let created = Self::copy_in(&mut nodes, &src, &dst, overwrite)?;
+            Self::delete_in(&mut nodes, &src)?;
+            return Ok(created);
+        }
     }
 
     fn list(&self, path: &str) -> Result<Vec<String>> {
         let path = normalize_path(path);
+        let _g = self.locks.read(&path);
         let nodes = self.nodes.lock();
         let node = nodes
             .get(&path)
@@ -204,6 +328,7 @@ impl Repository for MemRepository {
 
     fn get_prop(&self, path: &str, name: &PropertyName) -> Result<Option<Property>> {
         let path = normalize_path(path);
+        let _g = self.locks.read(&path);
         let nodes = self.nodes.lock();
         let n = nodes
             .get(&path)
@@ -211,8 +336,19 @@ impl Repository for MemRepository {
         Ok(n.props.get(name).cloned())
     }
 
+    fn get_props(&self, path: &str, names: &[PropertyName]) -> Result<Vec<Option<Property>>> {
+        let path = normalize_path(path);
+        let _g = self.locks.read(&path);
+        let nodes = self.nodes.lock();
+        let n = nodes
+            .get(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        Ok(names.iter().map(|nm| n.props.get(nm).cloned()).collect())
+    }
+
     fn list_props(&self, path: &str) -> Result<Vec<PropertyName>> {
         let path = normalize_path(path);
+        let _g = self.locks.read(&path);
         let nodes = self.nodes.lock();
         let n = nodes
             .get(&path)
@@ -220,8 +356,23 @@ impl Repository for MemRepository {
         Ok(n.props.keys().cloned().collect())
     }
 
+    fn all_props(&self, path: &str) -> Result<Vec<Property>> {
+        // One critical section: the live + dead view PROPFIND serves is
+        // a consistent snapshot of the node.
+        let path = normalize_path(path);
+        let _g = self.locks.read(&path);
+        let nodes = self.nodes.lock();
+        let n = nodes
+            .get(&path)
+            .ok_or_else(|| DavError::NotFound(path.clone()))?;
+        let mut props = live_props_from_meta(&path, &n.meta());
+        props.extend(n.props.values().cloned());
+        Ok(props)
+    }
+
     fn set_prop(&self, path: &str, prop: &Property) -> Result<()> {
         let path = normalize_path(path);
+        let _g = self.locks.write(&path);
         let mut nodes = self.nodes.lock();
         let n = nodes
             .get_mut(&path)
@@ -235,6 +386,7 @@ impl Repository for MemRepository {
 
     fn remove_prop(&self, path: &str, name: &PropertyName) -> Result<bool> {
         let path = normalize_path(path);
+        let _g = self.locks.write(&path);
         let mut nodes = self.nodes.lock();
         let n = nodes
             .get_mut(&path)
@@ -246,7 +398,50 @@ impl Repository for MemRepository {
         Ok(removed)
     }
 
+    fn patch_props(
+        &self,
+        path: &str,
+        ops: &[PropPatchOp],
+    ) -> std::result::Result<(), (usize, DavError)> {
+        // Validate, then apply everything in one critical section: a
+        // PROPFIND sees the property set before the whole patch or
+        // after it, never between instructions.
+        let path = normalize_path(path);
+        let _g = self.locks.write(&path);
+        let mut nodes = self.nodes.lock();
+        let n = nodes
+            .get_mut(&path)
+            .ok_or_else(|| (0, DavError::NotFound(path.clone())))?;
+        for (i, op) in ops.iter().enumerate() {
+            if let PropPatchOp::Set(p) = op {
+                if p.name.is_live() {
+                    return Err((
+                        i,
+                        DavError::BadRequest("cannot set a live property".into()),
+                    ));
+                }
+            }
+        }
+        let mut changed = false;
+        for op in ops {
+            match op {
+                PropPatchOp::Set(p) => {
+                    n.props.insert(p.name.clone(), p.clone());
+                    changed = true;
+                }
+                PropPatchOp::Remove(name) => {
+                    changed |= n.props.remove(name).is_some();
+                }
+            }
+        }
+        if changed {
+            n.modified = SystemTime::now();
+        }
+        Ok(())
+    }
+
     fn disk_usage(&self) -> Result<u64> {
+        let _g = self.locks.subtree_read();
         let nodes = self.nodes.lock();
         Ok(nodes
             .values()
@@ -396,5 +591,72 @@ mod tests {
         r.mkcol("/abc").unwrap();
         r.delete("/ab").unwrap();
         assert!(r.exists("/abc"));
+    }
+
+    #[test]
+    fn patch_props_atomic_and_validated() {
+        let r = MemRepository::new();
+        r.put("/d", b"", None).unwrap();
+        let a = PropertyName::new("u", "a");
+        r.set_prop("/d", &Property::text(a.clone(), "old")).unwrap();
+        // A live-property set anywhere in the batch rejects the whole
+        // batch before anything applies.
+        let ops = vec![
+            PropPatchOp::Set(Property::text(a.clone(), "new")),
+            PropPatchOp::Set(Property::text(PropertyName::dav("getetag"), "forged")),
+        ];
+        let (idx, err) = r.patch_props("/d", &ops).unwrap_err();
+        assert_eq!(idx, 1);
+        assert!(matches!(err, DavError::BadRequest(_)));
+        assert_eq!(r.get_prop("/d", &a).unwrap().unwrap().text_value(), "old");
+        // A clean batch applies in order.
+        let b = PropertyName::new("u", "b");
+        r.patch_props(
+            "/d",
+            &[
+                PropPatchOp::Set(Property::text(b.clone(), "bv")),
+                PropPatchOp::Remove(a.clone()),
+            ],
+        )
+        .unwrap();
+        assert!(r.get_prop("/d", &a).unwrap().is_none());
+        assert_eq!(r.get_prop("/d", &b).unwrap().unwrap().text_value(), "bv");
+    }
+
+    #[test]
+    fn concurrent_renames_never_show_both_or_neither() {
+        // The bug the path-lock rework fixes: rename used to be
+        // copy-then-delete as two separately locked calls, so a reader
+        // could observe the document at both paths (or neither).
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let r = Arc::new(MemRepository::new());
+        r.put("/m-a", b"x", None).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mover = {
+            let (r, stop) = (Arc::clone(&r), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut at_a = true;
+                while !stop.load(Ordering::Relaxed) {
+                    let (from, to) = if at_a { ("/m-a", "/m-b") } else { ("/m-b", "/m-a") };
+                    r.rename(from, to, false).unwrap();
+                    at_a = !at_a;
+                }
+            })
+        };
+        // One list() call is a single critical section, so it observes
+        // the table at one instant. (Two separate exists() calls would
+        // not — the mover could run between them.)
+        for _ in 0..2000 {
+            let names = r.list("/").unwrap();
+            let a = names.iter().any(|n| n == "m-a");
+            let b = names.iter().any(|n| n == "m-b");
+            assert!(
+                a != b,
+                "MOVE must be atomic: source xor destination (a={a}, b={b})"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        mover.join().unwrap();
     }
 }

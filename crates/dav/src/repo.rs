@@ -37,6 +37,25 @@ impl ResourceMeta {
     }
 }
 
+/// One PROPPATCH instruction, in document order (RFC 2518 §8.2).
+#[derive(Debug, Clone)]
+pub enum PropPatchOp {
+    /// Set (create or replace) a dead property.
+    Set(Property),
+    /// Remove a dead property (absent is not an error).
+    Remove(PropertyName),
+}
+
+impl PropPatchOp {
+    /// The property this instruction touches.
+    pub fn name(&self) -> &PropertyName {
+        match self {
+            PropPatchOp::Set(p) => &p.name,
+            PropPatchOp::Remove(n) => n,
+        }
+    }
+}
+
 /// A DAV storage backend. All methods are `&self`; implementations
 /// handle their own synchronisation (the server calls from many worker
 /// threads).
@@ -95,39 +114,68 @@ pub trait Repository: Send + Sync + 'static {
 
     /// The protocol-computed ("live") properties of a resource.
     fn live_props(&self, path: &str) -> Result<Vec<Property>> {
-        let meta = self.meta(path)?;
-        let mut props = Vec::with_capacity(7);
-        props.push(Property::text(
-            PropertyName::dav("creationdate"),
-            &format_iso8601(meta.created),
-        ));
-        props.push(Property::text(
-            PropertyName::dav("getlastmodified"),
-            &format_http_date(meta.modified),
-        ));
-        props.push(Property::text(
-            PropertyName::dav("getcontentlength"),
-            &meta.content_length.to_string(),
-        ));
-        if let Some(ct) = &meta.content_type {
-            props.push(Property::text(PropertyName::dav("getcontenttype"), ct));
+        Ok(live_props_from_meta(path, &self.meta(path)?))
+    }
+
+    /// Read several dead properties in one call (`None` per absent
+    /// name). The default loops [`get_prop`](Repository::get_prop);
+    /// concurrent repositories override it to resolve every name from
+    /// one consistent snapshot, so a racing PROPPATCH can never yield a
+    /// torn multi-property read.
+    fn get_props(&self, path: &str, names: &[PropertyName]) -> Result<Vec<Option<Property>>> {
+        names.iter().map(|n| self.get_prop(path, n)).collect()
+    }
+
+    /// Apply a whole PROPPATCH: instructions in document order, all or
+    /// nothing (RFC 2518 §8.2). On failure, returns the index of the
+    /// offending instruction plus its error; prior instructions have
+    /// been rolled back. The default journals prior values through the
+    /// single-property methods — atomic against failures but not
+    /// against concurrent readers; concurrent repositories override it
+    /// to swap the property set under one exclusive path lock.
+    fn patch_props(
+        &self,
+        path: &str,
+        ops: &[PropPatchOp],
+    ) -> std::result::Result<(), (usize, DavError)> {
+        let mut journal: Vec<(PropertyName, Option<Property>)> = Vec::new();
+        let mut failure: Option<(usize, DavError)> = None;
+        for (i, op) in ops.iter().enumerate() {
+            let applied: Result<()> = match op {
+                PropPatchOp::Set(p) if p.name.is_live() => {
+                    Err(DavError::BadRequest("cannot set a live property".into()))
+                }
+                PropPatchOp::Set(p) => self.get_prop(path, &p.name).and_then(|prior| {
+                    self.set_prop(path, p)?;
+                    journal.push((p.name.clone(), prior));
+                    Ok(())
+                }),
+                PropPatchOp::Remove(n) => self.get_prop(path, n).and_then(|prior| {
+                    if self.remove_prop(path, n)? {
+                        journal.push((n.clone(), prior));
+                    }
+                    Ok(())
+                }),
+            };
+            if let Err(e) = applied {
+                failure = Some((i, e));
+                break;
+            }
         }
-        props.push(Property::text(PropertyName::dav("getetag"), &meta.etag()));
-        // resourcetype: empty for documents, <D:collection/> inside for
-        // collections.
-        let mut rt = pse_xml::dom::Element::new(Some(crate::property::DAV_NS), "resourcetype");
-        if meta.is_collection {
-            rt.push_elem(pse_xml::dom::Element::new(
-                Some(crate::property::DAV_NS),
-                "collection",
-            ));
+        let Some(fail) = failure else {
+            return Ok(());
+        };
+        for (name, prior) in journal.into_iter().rev() {
+            match prior {
+                Some(p) => {
+                    let _ = self.set_prop(path, &p);
+                }
+                None => {
+                    let _ = self.remove_prop(path, &name);
+                }
+            }
         }
-        props.push(Property::from_element(rt));
-        props.push(Property::text(
-            PropertyName::dav("displayname"),
-            pse_http::uri::basename(path),
-        ));
-        Ok(props)
+        Err(fail)
     }
 
     /// Dead + live properties together (PROPFIND allprop).
@@ -142,18 +190,71 @@ pub trait Repository: Send + Sync + 'static {
     }
 
     /// Walk a subtree depth-first, calling `visit` with each path.
-    /// `max_depth` of `None` means unlimited.
+    /// `max_depth` of `None` means unlimited. A member that vanishes
+    /// between being listed and being visited (a concurrent DELETE or
+    /// MOVE) is treated as a leaf rather than failing the traversal.
     fn walk(&self, path: &str, max_depth: Option<u32>, visit: &mut dyn FnMut(&str)) -> Result<()> {
         visit(path);
         let descend = max_depth.map(|d| d > 0).unwrap_or(true);
-        if descend && self.meta(path)?.is_collection {
-            for child in self.list(path)? {
+        if !descend {
+            return Ok(());
+        }
+        let is_collection = match self.meta(path) {
+            Ok(m) => m.is_collection,
+            Err(DavError::NotFound(_)) => false,
+            Err(e) => return Err(e),
+        };
+        if is_collection {
+            let children = match self.list(path) {
+                Ok(c) => c,
+                Err(DavError::NotFound(_) | DavError::Conflict(_)) => Vec::new(),
+                Err(e) => return Err(e),
+            };
+            for child in children {
                 let child_path = pse_http::uri::join_path(path, &child);
                 self.walk(&child_path, max_depth.map(|d| d - 1), visit)?;
             }
         }
         Ok(())
     }
+}
+
+/// Build the live property set from already-fetched metadata — shared
+/// by the trait default and by repositories that assemble a resource's
+/// whole property view under a single lock.
+pub fn live_props_from_meta(path: &str, meta: &ResourceMeta) -> Vec<Property> {
+    let mut props = Vec::with_capacity(7);
+    props.push(Property::text(
+        PropertyName::dav("creationdate"),
+        &format_iso8601(meta.created),
+    ));
+    props.push(Property::text(
+        PropertyName::dav("getlastmodified"),
+        &format_http_date(meta.modified),
+    ));
+    props.push(Property::text(
+        PropertyName::dav("getcontentlength"),
+        &meta.content_length.to_string(),
+    ));
+    if let Some(ct) = &meta.content_type {
+        props.push(Property::text(PropertyName::dav("getcontenttype"), ct));
+    }
+    props.push(Property::text(PropertyName::dav("getetag"), &meta.etag()));
+    // resourcetype: empty for documents, <D:collection/> inside for
+    // collections.
+    let mut rt = pse_xml::dom::Element::new(Some(crate::property::DAV_NS), "resourcetype");
+    if meta.is_collection {
+        rt.push_elem(pse_xml::dom::Element::new(
+            Some(crate::property::DAV_NS),
+            "collection",
+        ));
+    }
+    props.push(Property::from_element(rt));
+    props.push(Property::text(
+        PropertyName::dav("displayname"),
+        pse_http::uri::basename(path),
+    ));
+    props
 }
 
 /// Ensure a path has a parent that exists and is a collection.

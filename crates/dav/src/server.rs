@@ -106,6 +106,15 @@ mod tests {
         assert!(metric(&text, "dav.prop_cache.misses").unwrap() >= 1, "{text}");
         // Storage engine statics.
         assert!(metric(&text, "dbm.page_writes").unwrap() >= 1, "{text}");
+        // Path-lock table: every repository call above went through a
+        // sharded lock plan, so acquisitions must be visible (and the
+        // configured shard count exported as a gauge).
+        assert!(metric(&text, "dav.pathlock.acquisitions").unwrap() > 0, "{text}");
+        assert_eq!(
+            metric(&text, "dav.pathlock.shards"),
+            Some(crate::pathlock::DEFAULT_SHARDS as i64),
+            "{text}"
+        );
         srv.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -632,3 +632,125 @@ fn basic_auth_enforced_end_to_end() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---- LOCK contention (PR 5) ----
+//
+// The paper's Ecce sessions hold DAV locks while multiple application
+// components race for the same calculation documents; these tests pin
+// the contended-path behaviour: exactly one LOCK winner, 423 for the
+// rest, expiry frees the resource, and token ownership is enforced
+// even while the lock table is being hammered.
+
+#[test]
+fn lock_race_has_exactly_one_winner() {
+    let mut rig = Rig::new(DbmKind::Sdbm);
+    let addr = rig.server.as_ref().unwrap().local_addr();
+    rig.client.put("/contended", "v1", None).unwrap();
+
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = DavClient::connect(addr).unwrap();
+                barrier.wait();
+                c.lock(
+                    "/contended",
+                    LockScope::Exclusive,
+                    Depth::Zero,
+                    &format!("racer-{i}"),
+                    Some(std::time::Duration::from_secs(60)),
+                )
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let (winners, losers): (Vec<_>, Vec<_>) = results.into_iter().partition(Result::is_ok);
+    assert_eq!(winners.len(), 1, "exactly one racer may hold the lock");
+    assert_eq!(losers.len(), 3);
+    for l in losers {
+        assert!(
+            pse_dav::client::is_locked_error(&l.unwrap_err()),
+            "losers must see 423 Locked"
+        );
+    }
+    // The winner's token is real: it authorises a write.
+    let token = winners.into_iter().next().unwrap().unwrap();
+    let mut c = DavClient::connect(addr).unwrap();
+    c.put_locked("/contended", "v2", &token).unwrap();
+    assert_eq!(c.get("/contended").unwrap(), b"v2");
+}
+
+#[test]
+fn lock_timeout_expiry_frees_the_resource() {
+    let mut rig = Rig::new(DbmKind::Sdbm);
+    let addr = rig.server.as_ref().unwrap().local_addr();
+    let c = &mut rig.client;
+    c.put("/short-lease", "v1", None).unwrap();
+    c.lock(
+        "/short-lease",
+        LockScope::Exclusive,
+        Depth::Zero,
+        "karen",
+        Some(std::time::Duration::from_secs(1)),
+    )
+    .unwrap();
+
+    // While the lease is live, a second client is shut out.
+    let mut other = DavClient::connect(addr).unwrap();
+    let err = other.put("/short-lease", "intruder", None).unwrap_err();
+    assert!(pse_dav::client::is_locked_error(&err), "{err}");
+
+    // Past the timeout, the lock evaporates without an UNLOCK.
+    std::thread::sleep(std::time::Duration::from_millis(1300));
+    other.put("/short-lease", "reclaimed", None).unwrap();
+    let token2 = other
+        .lock(
+            "/short-lease",
+            LockScope::Exclusive,
+            Depth::Zero,
+            "eric",
+            Some(std::time::Duration::from_secs(60)),
+        )
+        .unwrap();
+    other.unlock("/short-lease", &token2).unwrap();
+}
+
+#[test]
+fn lock_token_ownership_enforced_under_contention() {
+    let mut rig = Rig::new(DbmKind::Sdbm);
+    let addr = rig.server.as_ref().unwrap().local_addr();
+    let c = &mut rig.client;
+    c.put("/owned", "v1", None).unwrap();
+    let token = c
+        .lock(
+            "/owned",
+            LockScope::Exclusive,
+            Depth::Zero,
+            "karen",
+            Some(std::time::Duration::from_secs(60)),
+        )
+        .unwrap();
+
+    // A forged or stale token never authorises a write or an UNLOCK,
+    // even when several clients try at once.
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut other = DavClient::connect(addr).unwrap();
+                assert!(other
+                    .put_locked("/owned", "forged", "opaquelocktoken:not-the-token")
+                    .is_err());
+                assert!(other.unlock("/owned", "opaquelocktoken:not-the-token").is_err());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The body never changed hands and the real token still works.
+    assert_eq!(c.get("/owned").unwrap(), b"v1");
+    c.put_locked("/owned", "v2", &token).unwrap();
+    c.unlock("/owned", &token).unwrap();
+}

@@ -12,8 +12,20 @@
 # 4. Lint: clippy with warnings denied on the dependency-free crates
 #    where we hold the bar at zero (pse-cache and pse-obs today).
 #    Skipped with a notice if the clippy component is not installed.
+# 5. With --stress: the concurrency stress suite across a 3-seed
+#    matrix at elevated thread count, plus the MemRepository
+#    linearizability checker. PSE_STRESS_OPS / PSE_STRESS_THREADS are
+#    honoured when set in the environment.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+STRESS=0
+for arg in "$@"; do
+    case "$arg" in
+        --stress) STRESS=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -43,6 +55,19 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -p pse-obs --all-targets -- -D warnings
 else
     echo "==> lint: clippy not installed, skipping"
+fi
+
+if [ "$STRESS" = 1 ]; then
+    : "${PSE_STRESS_OPS:=250}"
+    : "${PSE_STRESS_THREADS:=6}"
+    export PSE_STRESS_OPS PSE_STRESS_THREADS
+    echo "==> stress: concurrency suite, 3-seed matrix (threads=$PSE_STRESS_THREADS, ops=$PSE_STRESS_OPS)"
+    for seed in 1 42 20010807; do
+        echo "==> stress: seed $seed"
+        PSE_STRESS_SEED=$seed cargo test -q --test concurrency
+    done
+    echo "==> stress: MemRepository linearizability"
+    cargo test -q -p pse-dav --test linearizability
 fi
 
 echo "==> ci OK"
