@@ -8,11 +8,18 @@
 //! latency percentiles respond as concurrent clients grow from 1 to 16
 //! under three operation mixes (read-heavy, mixed, write-heavy).
 //!
-//! Default run: the sharded matrix, plus one global-lock baseline at
-//! the read-heavy / 8-client point with the sharded:global throughput
-//! ratio printed. `--ablate-global-lock` runs the full matrix with the
-//! whole-repository lock instead. Results (throughput + p50/p99) land
-//! in `target/bench-json/scaling.json` (or `$PSE_BENCH_JSON`), with the
+//! Default run: the sharded matrix on the epoll-reactor server core,
+//! plus one global-lock baseline at the read-heavy / 8-client point
+//! with the sharded:global throughput ratio printed, plus the
+//! idle-client regime: 1k+ parked keep-alive connections (10k under
+//! `PSE_SCALE=full`) with fresh clients measured through the crowd and
+//! the `http.conns_parked` / worker gauges recorded at peak.
+//! `--ablate-global-lock` runs the full matrix with the
+//! whole-repository lock instead; `--ablate-threaded` runs the baseline
+//! matrix on the thread-per-connection core (its idle point is capped
+//! below `max_daemons` — parking a thousand connections there would
+//! need a thousand threads, which is the point). Results land in
+//! `target/bench-json/scaling.json` (or `$PSE_BENCH_JSON`), with the
 //! metric-registry delta — including `dav.pathlock.*` — alongside.
 //!
 //! `PSE_SCALE=full` raises the per-client operation count.
@@ -25,10 +32,12 @@ use pse_dav::fsrepo::{FsConfig, FsRepository};
 use pse_dav::handler::DavHandler;
 use pse_dav::property::{Property, PropertyName};
 use pse_dav::server::serve;
-use pse_http::server::{Server, ServerConfig};
+use pse_http::server::{Server, ServerConfig, ServerMode};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const DOCS: usize = 64;
 const CLIENTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -51,7 +60,7 @@ struct Rig {
     dir: PathBuf,
 }
 
-fn rig(tag: &str, global_lock: bool) -> Rig {
+fn rig(tag: &str, global_lock: bool, mode: ServerMode) -> Rig {
     let dir = scratch_dir(tag);
     let repo = FsRepository::create(
         &dir,
@@ -64,11 +73,13 @@ fn rig(tag: &str, global_lock: bool) -> Rig {
     let server = serve(
         "127.0.0.1:0",
         ServerConfig {
+            mode,
             // One connection per client for the whole run, and enough
             // daemons that the transport never caps the concurrency
             // under measurement.
             max_requests_per_connection: 10_000_000,
             max_daemons: 64,
+            keep_alive_timeout: Duration::from_secs(600),
             ..ServerConfig::default()
         },
         DavHandler::new(repo),
@@ -157,17 +168,97 @@ fn run_point(rig: &Rig, read_pct: u64, clients: usize, ops: usize) -> (f64, f64,
     )
 }
 
-fn main() {
-    let ablate = std::env::args().any(|a| a == "--ablate-global-lock");
-    let ops = if full_scale() { 1500 } else { 150 };
-    let label = if ablate { "global" } else { "sharded" };
+/// Read one HTTP response (head + Content-Length body) off a raw
+/// socket; used to prove a parked connection completed a full cycle.
+fn read_raw_response(s: &mut TcpStream) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        s.read_exact(&mut byte).expect("response head");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).unwrap();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse().unwrap())
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).expect("response body");
+}
 
-    let r = rig("scaling", ablate);
+/// The idle-client regime: park `parked` keep-alive connections (each
+/// proven live by one completed GET), record the server's resident-set
+/// gauges at peak, then measure 8 fresh read-heavy clients through the
+/// crowd. Emits one JSON row combining both.
+fn idle_point(
+    r: &Rig,
+    label: &str,
+    parked: usize,
+    ops: usize,
+    table: &mut Table,
+    rows: &mut Vec<(String, Vec<(&'static str, f64)>)>,
+) {
+    let addr = r.server.local_addr();
+    let mut crowd = Vec::with_capacity(parked);
+    for i in 0..parked {
+        let mut s = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("idle conn #{i}/{parked} ({label}): {e}"));
+        s.write_all(b"GET /scale/d0 HTTP/1.1\r\n\r\n").unwrap();
+        read_raw_response(&mut s);
+        crowd.push(s);
+    }
+    let snap = r.server.registry().snapshot();
+    let (rps, _p50, p99) = run_point(r, 90, 8, ops);
+    table.row(&[
+        label.to_owned(),
+        parked.to_string(),
+        format!("{rps:.0}"),
+        format!("{p99:.0}"),
+        snap.gauge("http.conns_parked").to_string(),
+        snap.gauge("http.workers_total").to_string(),
+    ]);
+    rows.push((
+        format!("idle-{label}-n{parked}"),
+        vec![
+            ("parked_clients", parked as f64),
+            ("fresh_rps", rps),
+            ("fresh_p99_us", p99),
+            ("conns_parked_gauge", snap.gauge("http.conns_parked") as f64),
+            ("workers_total_gauge", snap.gauge("http.workers_total") as f64),
+            ("workers_idle_gauge", snap.gauge("http.workers_idle") as f64),
+        ],
+    ));
+    drop(crowd);
+}
+
+fn main() {
+    let ablate_global = std::env::args().any(|a| a == "--ablate-global-lock");
+    let ablate_threaded = std::env::args().any(|a| a == "--ablate-threaded");
+    let mode = if ablate_threaded {
+        ServerMode::Threaded
+    } else {
+        ServerMode::Reactor
+    };
+    let ops = if full_scale() { 1500 } else { 150 };
+    let label = if ablate_global {
+        "global"
+    } else if ablate_threaded {
+        "threaded"
+    } else {
+        "sharded"
+    };
+
+    let r = rig("scaling", ablate_global, mode);
     let registry = r.server.registry();
     let obs_before = registry.snapshot();
 
     let mut table = Table::new(
-        &format!("Client scaling, {label} locking ({ops} ops/client)"),
+        &format!("Client scaling, {label} ({ops} ops/client, {} core)", mode.as_str()),
         &["mix", "clients", "req/s", "p50 µs", "p99 µs"],
     );
     let mut rows: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
@@ -190,10 +281,10 @@ fn main() {
     let obs_delta = registry.snapshot().delta(&obs_before);
     table.print();
 
-    if !ablate {
+    if !ablate_global && !ablate_threaded {
         // One ablated point for the headline comparison: read-heavy at
         // 8 clients with the whole-repository lock the shards replaced.
-        let rg = rig("scaling-global", true);
+        let rg = rig("scaling-global", true, mode);
         let (grps, gp50, gp99) = run_point(&rg, 90, 8, ops);
         teardown(rg);
         rows.push((
@@ -227,6 +318,33 @@ fn main() {
         }
     }
 
+    if !ablate_global {
+        // The idle-client regime: the reactor parks thousands of
+        // keep-alive connections for a fd apiece; the threaded core
+        // pays a full OS thread per parked connection, so its point is
+        // capped below `max_daemons` — comparing the `workers_total`
+        // gauge across the two rows IS the result.
+        let sizes: &[usize] = if ablate_threaded {
+            &[48]
+        } else if full_scale() {
+            &[1000, 4000, 10_000]
+        } else {
+            &[1000]
+        };
+        let _ = pse_http::poll::raise_nofile_limit(
+            (*sizes.iter().max().unwrap() as u64) * 2 + 512,
+        );
+        let mut idle_table = Table::new(
+            &format!("Idle-client regime, {} core (8 fresh read-heavy clients)", mode.as_str()),
+            &["core", "parked", "fresh req/s", "fresh p99 µs", "conns_parked", "workers_total"],
+        );
+        for &parked in sizes {
+            idle_point(&r, mode.as_str(), parked, ops, &mut idle_table, &mut rows);
+        }
+        idle_table.print();
+    }
+
+    teardown(r);
     let path = emit_json_fields("scaling", &rows, Some(&obs_delta));
     println!("results + per-layer registry deltas: {}", path.display());
 }

@@ -1,0 +1,785 @@
+//! Non-blocking connection state machines for the reactor server.
+//!
+//! [`RequestParser`] is an incremental HTTP/1.1 request parser: it is
+//! fed whatever bytes the socket had ready and reports either "need
+//! more", a complete [`Request`], or a protocol reject that already
+//! knows its status code. Unlike [`crate::wire::read_request`], it
+//! never blocks and never owns the transport, so one reactor thread can
+//! interleave thousands of connections each sitting at an arbitrary
+//! parse position — headers split across TCP segments, bodies arriving
+//! a byte at a time, several pipelined requests inside one segment.
+//!
+//! [`Conn`] wraps a non-blocking [`TcpStream`] with that parser plus an
+//! outgoing byte buffer and walks the connection through its life
+//! cycle:
+//!
+//! ```text
+//! reading-head → reading-body → dispatched → writing-response
+//!      ▲                                          │
+//!      └────────── keep-alive (parked) ◄──────────┘
+//! ```
+//!
+//! The reactor (in [`crate::reactor`]) owns readiness, timers, and the
+//! worker pool; nothing in this module calls `epoll`, which keeps every
+//! state transition unit-testable against plain in-memory buffers.
+
+use crate::headers::Headers;
+use crate::message::{Request, Response, Version};
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::uri::Target;
+use crate::wire::{self, Limits};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// A protocol error the parser converted into a ready-to-send response.
+/// The connection always closes after a reject: the stream position may
+/// be desynchronised (e.g. an unframeable body), so continuing would
+/// serve garbage as the next request.
+#[derive(Debug)]
+pub(crate) struct Reject {
+    /// Status to answer with (`400`, `413`, or `431`).
+    pub status: StatusCode,
+    /// Human-readable reason, sent as the plain-text body.
+    pub message: String,
+}
+
+impl Reject {
+    fn new(status: StatusCode, message: impl Into<String>) -> Reject {
+        Reject {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// The error response this reject is answered with.
+    pub(crate) fn response(&self) -> Response {
+        Response::error(self.status, &self.message).with_header("Connection", "close")
+    }
+}
+
+/// One step of incremental parsing.
+#[derive(Debug)]
+pub(crate) enum Step {
+    /// The buffer holds only a prefix of a request; feed more bytes.
+    NeedMore,
+    /// A complete request was parsed and drained from the buffer; the
+    /// parser has reset itself for the next one (pipelining).
+    Done(Box<Request>),
+    /// Protocol error; answer and close.
+    Reject(Reject),
+}
+
+/// Result of scanning the buffer for one line.
+enum LineStep {
+    /// Complete line, drained from the buffer (terminator stripped).
+    Line(String),
+    /// No terminator in the buffer yet.
+    Partial,
+    /// The line exceeds `max` bytes (counted without the terminator).
+    TooLong,
+    /// Line bytes are not UTF-8.
+    NotUtf8,
+}
+
+/// Pop one CRLF- (or bare-LF-) terminated line off the front of `buf`.
+/// `scanned` remembers how far previous calls already searched so a
+/// byte-at-a-time trickle costs O(n), not O(n²).
+fn take_line(buf: &mut Vec<u8>, scanned: &mut usize, max: usize) -> LineStep {
+    match buf[*scanned..].iter().position(|&b| b == b'\n') {
+        Some(rel) => {
+            let nl = *scanned + rel;
+            let mut end = nl;
+            if end > 0 && buf[end - 1] == b'\r' {
+                end -= 1;
+            }
+            if end > max {
+                return LineStep::TooLong;
+            }
+            let line = match std::str::from_utf8(&buf[..end]) {
+                Ok(s) => s.to_owned(),
+                Err(_) => return LineStep::NotUtf8,
+            };
+            buf.drain(..=nl);
+            *scanned = 0;
+            LineStep::Line(line)
+        }
+        None => {
+            *scanned = buf.len();
+            if buf.len() > max {
+                LineStep::TooLong
+            } else {
+                LineStep::Partial
+            }
+        }
+    }
+}
+
+/// Body-framing position within one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Request line + header block.
+    Head,
+    /// `Content-Length`-framed body; `remaining` bytes outstanding.
+    FixedBody,
+    /// Chunked: expecting a chunk-size line.
+    ChunkSize,
+    /// Chunked: inside chunk data; `remaining` bytes outstanding.
+    ChunkData,
+    /// Chunked: expecting the CRLF that closes a chunk.
+    ChunkCrlf,
+    /// Chunked: trailer lines until an empty line.
+    Trailers,
+}
+
+/// Incremental, non-blocking HTTP/1.1 request parser.
+#[derive(Debug)]
+pub(crate) struct RequestParser {
+    limits: Limits,
+    phase: Phase,
+    request_line: Option<(Method, Target, Version)>,
+    headers: Headers,
+    body: Vec<u8>,
+    remaining: usize,
+    scanned: usize,
+}
+
+impl RequestParser {
+    pub(crate) fn new(limits: Limits) -> RequestParser {
+        RequestParser {
+            limits,
+            phase: Phase::Head,
+            request_line: None,
+            headers: Headers::new(),
+            body: Vec::new(),
+            remaining: 0,
+            scanned: 0,
+        }
+    }
+
+    /// Has the in-flight request progressed past its request line? This
+    /// is the boundary where the server swaps the keep-alive idle
+    /// deadline for the (longer) body-read deadline — a client pausing
+    /// mid-upload is slow, not idle.
+    pub(crate) fn saw_request_line(&self) -> bool {
+        self.request_line.is_some()
+    }
+
+    /// Is the parser mid-request? (Distinguishes a clean keep-alive EOF
+    /// from a connection truncated inside a message.)
+    pub(crate) fn in_progress(&self, buf: &[u8]) -> bool {
+        !buf.is_empty() || self.request_line.is_some() || self.phase != Phase::Head
+    }
+
+    fn reset(&mut self) {
+        self.phase = Phase::Head;
+        self.request_line = None;
+        self.headers = Headers::new();
+        self.body = Vec::new();
+        self.remaining = 0;
+        self.scanned = 0;
+    }
+
+    fn finish(&mut self) -> Step {
+        let (method, target, version) = self.request_line.take().expect("head parsed");
+        let req = Request {
+            method,
+            target,
+            version,
+            headers: std::mem::take(&mut self.headers),
+            body: std::mem::take(&mut self.body),
+        };
+        self.reset();
+        Step::Done(Box::new(req))
+    }
+
+    /// Consume as much of `buf` as possible; at most one complete
+    /// request is returned per call (responses must go out in order, so
+    /// the caller dispatches one request at a time and pumps again after
+    /// the response is written).
+    pub(crate) fn advance(&mut self, buf: &mut Vec<u8>) -> Step {
+        loop {
+            match self.phase {
+                Phase::Head => {
+                    let what = if self.request_line.is_none() {
+                        "request line"
+                    } else {
+                        "header line"
+                    };
+                    let line = match take_line(buf, &mut self.scanned, self.limits.max_header_line)
+                    {
+                        LineStep::Line(l) => l,
+                        LineStep::Partial => return Step::NeedMore,
+                        LineStep::TooLong => {
+                            return Step::Reject(Reject::new(
+                                StatusCode::HEADER_FIELDS_TOO_LARGE,
+                                format!("{what} exceeds {} bytes", self.limits.max_header_line),
+                            ))
+                        }
+                        LineStep::NotUtf8 => {
+                            return Step::Reject(Reject::new(
+                                StatusCode::BAD_REQUEST,
+                                "malformed request",
+                            ))
+                        }
+                    };
+                    if self.request_line.is_none() {
+                        // Unparseable line or unsupported version: both
+                        // answer 400, matching the threaded server.
+                        match wire::parse_request_line(&line) {
+                            Ok(parts) => self.request_line = Some(parts),
+                            Err(_) => {
+                                return Step::Reject(Reject::new(
+                                    StatusCode::BAD_REQUEST,
+                                    "malformed request",
+                                ))
+                            }
+                        }
+                    } else if line.is_empty() {
+                        // End of the header block: pick the body framing.
+                        if self.headers.has_token("Transfer-Encoding", "chunked") {
+                            self.phase = Phase::ChunkSize;
+                        } else {
+                            let len = match wire::strict_content_length(&self.headers) {
+                                Ok(l) => l.unwrap_or(0),
+                                Err(_) => {
+                                    return Step::Reject(Reject::new(
+                                        StatusCode::BAD_REQUEST,
+                                        "malformed request",
+                                    ))
+                                }
+                            };
+                            if len > self.limits.max_body {
+                                return Step::Reject(Reject::new(
+                                    StatusCode::ENTITY_TOO_LARGE,
+                                    format!("entity body exceeds {} bytes", self.limits.max_body),
+                                ));
+                            }
+                            if len == 0 {
+                                return self.finish();
+                            }
+                            self.body.reserve(len.min(1 << 20));
+                            self.remaining = len;
+                            self.phase = Phase::FixedBody;
+                        }
+                    } else {
+                        if self.headers.len() >= self.limits.max_headers {
+                            return Step::Reject(Reject::new(
+                                StatusCode::HEADER_FIELDS_TOO_LARGE,
+                                format!("header count exceeds {}", self.limits.max_headers),
+                            ));
+                        }
+                        match wire::parse_header_field(&line) {
+                            Ok((name, value)) => self.headers.append(name, value),
+                            Err(_) => {
+                                return Step::Reject(Reject::new(
+                                    StatusCode::BAD_REQUEST,
+                                    "malformed request",
+                                ))
+                            }
+                        }
+                    }
+                }
+                Phase::FixedBody | Phase::ChunkData => {
+                    let take = buf.len().min(self.remaining);
+                    self.body.extend_from_slice(&buf[..take]);
+                    buf.drain(..take);
+                    self.scanned = 0;
+                    self.remaining -= take;
+                    if self.remaining > 0 {
+                        return Step::NeedMore;
+                    }
+                    if self.phase == Phase::FixedBody {
+                        return self.finish();
+                    }
+                    self.phase = Phase::ChunkCrlf;
+                }
+                Phase::ChunkSize => {
+                    let line = match take_line(buf, &mut self.scanned, self.limits.max_header_line)
+                    {
+                        LineStep::Line(l) => l,
+                        LineStep::Partial => return Step::NeedMore,
+                        LineStep::TooLong | LineStep::NotUtf8 => {
+                            return Step::Reject(Reject::new(
+                                StatusCode::BAD_REQUEST,
+                                "malformed request",
+                            ))
+                        }
+                    };
+                    let size_part = line.split(';').next().unwrap_or("").trim();
+                    let size = match usize::from_str_radix(size_part, 16) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            return Step::Reject(Reject::new(
+                                StatusCode::BAD_REQUEST,
+                                "malformed request",
+                            ))
+                        }
+                    };
+                    if self.body.len() + size > self.limits.max_body {
+                        return Step::Reject(Reject::new(
+                            StatusCode::ENTITY_TOO_LARGE,
+                            format!("chunked body exceeds {} bytes", self.limits.max_body),
+                        ));
+                    }
+                    if size == 0 {
+                        self.phase = Phase::Trailers;
+                    } else {
+                        self.remaining = size;
+                        self.phase = Phase::ChunkData;
+                    }
+                }
+                Phase::ChunkCrlf => {
+                    match take_line(buf, &mut self.scanned, 4) {
+                        LineStep::Line(l) if l.is_empty() => self.phase = Phase::ChunkSize,
+                        LineStep::Partial => return Step::NeedMore,
+                        _ => {
+                            return Step::Reject(Reject::new(
+                                StatusCode::BAD_REQUEST,
+                                "malformed request",
+                            ))
+                        }
+                    };
+                }
+                Phase::Trailers => {
+                    match take_line(buf, &mut self.scanned, self.limits.max_header_line) {
+                        LineStep::Line(l) if l.is_empty() => return self.finish(),
+                        LineStep::Line(_) => {} // trailer field: skipped
+                        LineStep::Partial => return Step::NeedMore,
+                        LineStep::TooLong | LineStep::NotUtf8 => {
+                            return Step::Reject(Reject::new(
+                                StatusCode::BAD_REQUEST,
+                                "malformed request",
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Where a connection sits in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnPhase {
+    /// Accumulating request bytes (parked when nothing has arrived yet).
+    Reading,
+    /// A request is in the worker pool; socket I/O is quiesced.
+    Dispatched,
+    /// Draining a response to the socket.
+    Writing,
+}
+
+/// What the inactivity deadline of a connection currently means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerKind {
+    /// Waiting between requests: `keep_alive_timeout` governs, and an
+    /// expiry is a normal idle close.
+    Idle,
+    /// Mid-request (the request line has arrived): `body_read_timeout`
+    /// governs, and an expiry drops the peer as *slow*, never as idle.
+    Body,
+}
+
+/// Outcome of pumping the read side of a connection.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// Still waiting for a complete request; keep read interest.
+    NeedMore,
+    /// A request is ready; the connection is now `Dispatched`.
+    Request(Box<Request>),
+    /// A protocol reject was queued as the response; the connection is
+    /// now `Writing` and will close after the drain.
+    Reject,
+    /// The connection is finished (EOF, reset, or truncated request);
+    /// drop it.
+    Closed,
+}
+
+/// Outcome of pumping the write side of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteOutcome {
+    /// Bytes remain; keep write interest.
+    Pending,
+    /// Response fully drained and the connection stays open (the caller
+    /// re-parks it and pumps any pipelined bytes already buffered).
+    KeepAlive,
+    /// Response fully drained and the connection must close, or the
+    /// socket failed mid-write; drop it.
+    Closed,
+}
+
+/// One reactor-managed connection.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    pub(crate) phase: ConnPhase,
+    parser: RequestParser,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Requests dispatched on this connection (budget accounting).
+    pub(crate) dispatched: usize,
+    close_after_write: bool,
+    /// The peer shut down its write side; serve what is buffered, then
+    /// close instead of re-parking (half-close support).
+    peer_eof: bool,
+    /// Timer-wheel generation: bumped on every (re)arm or clear so
+    /// stale heap entries are recognised and skipped.
+    pub(crate) timer_gen: u64,
+    /// Kind of the armed deadline, if any.
+    pub(crate) timer_kind: Option<TimerKind>,
+    /// Deadline instant matching `timer_gen`, for expiry validation.
+    pub(crate) timer_deadline: Option<Instant>,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, limits: Limits) -> Conn {
+        Conn {
+            stream,
+            phase: ConnPhase::Reading,
+            parser: RequestParser::new(limits),
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            dispatched: 0,
+            close_after_write: false,
+            peer_eof: false,
+            timer_gen: 0,
+            timer_kind: None,
+            timer_deadline: None,
+        }
+    }
+
+    /// Parked = sitting between requests with nothing buffered: the
+    /// state the C10k regime holds thousands of connections in, each
+    /// costing one fd plus these (empty) buffers.
+    pub(crate) fn is_parked(&self) -> bool {
+        self.phase == ConnPhase::Reading && !self.parser.in_progress(&self.inbuf)
+    }
+
+    /// Past the request line of an in-flight request?
+    pub(crate) fn saw_request_line(&self) -> bool {
+        self.parser.saw_request_line()
+    }
+
+    /// Read whatever the socket has and advance the parser. Returns at
+    /// most one request; `read_bytes` reports how many bytes arrived so
+    /// the caller can refresh inactivity deadlines and byte counters.
+    pub(crate) fn on_readable(&mut self, read_bytes: &mut u64) -> ReadOutcome {
+        debug_assert_eq!(self.phase, ConnPhase::Reading);
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            // Parse before reading: pipelined bytes may already be
+            // buffered from a previous readiness.
+            match self.parser.advance(&mut self.inbuf) {
+                Step::Done(req) => {
+                    self.phase = ConnPhase::Dispatched;
+                    return ReadOutcome::Request(req);
+                }
+                Step::Reject(reject) => {
+                    self.queue_response(&reject.response(), false, true);
+                    return ReadOutcome::Reject;
+                }
+                Step::NeedMore => {}
+            }
+            if self.peer_eof {
+                // EOF with an incomplete request (truncated) or between
+                // requests (clean keep-alive close): either way, done.
+                return ReadOutcome::Closed;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => self.peer_eof = true,
+                Ok(n) => {
+                    *read_bytes += n as u64;
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return ReadOutcome::NeedMore
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+
+    /// Serialise `resp` into the output buffer and move to `Writing`.
+    pub(crate) fn queue_response(&mut self, resp: &Response, head_only: bool, close: bool) {
+        self.outbuf.clear();
+        self.outpos = 0;
+        // Serialising to a Vec cannot fail.
+        let _ = wire::write_response(&mut self.outbuf, resp, head_only);
+        self.close_after_write = close;
+        self.phase = ConnPhase::Writing;
+    }
+
+    /// Hand a pre-serialised response (from a worker) to the writer.
+    pub(crate) fn queue_response_bytes(&mut self, bytes: Vec<u8>, close: bool) {
+        self.outbuf = bytes;
+        self.outpos = 0;
+        self.close_after_write = close;
+        self.phase = ConnPhase::Writing;
+    }
+
+    /// Drain the output buffer as far as the socket allows.
+    pub(crate) fn on_writable(&mut self, wrote_bytes: &mut u64) -> WriteOutcome {
+        debug_assert_eq!(self.phase, ConnPhase::Writing);
+        while self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => return WriteOutcome::Closed,
+                Ok(n) => {
+                    *wrote_bytes += n as u64;
+                    self.outpos += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return WriteOutcome::Pending
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return WriteOutcome::Closed,
+            }
+        }
+        self.outbuf = Vec::new();
+        self.outpos = 0;
+        if self.close_after_write || self.peer_eof {
+            WriteOutcome::Closed
+        } else {
+            self.phase = ConnPhase::Reading;
+            WriteOutcome::KeepAlive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> RequestParser {
+        RequestParser::new(Limits::default())
+    }
+
+    fn feed(p: &mut RequestParser, buf: &mut Vec<u8>, bytes: &[u8]) -> Step {
+        buf.extend_from_slice(bytes);
+        p.advance(buf)
+    }
+
+    #[test]
+    fn whole_request_in_one_segment() {
+        let mut p = parser();
+        let mut buf = Vec::new();
+        let step = feed(
+            &mut p,
+            &mut buf,
+            b"PUT /doc HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        match step {
+            Step::Done(req) => {
+                assert_eq!(req.method, Method::Put);
+                assert_eq!(req.target.path(), "/doc");
+                assert_eq!(req.body, b"hello");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(buf.is_empty());
+        assert!(!p.in_progress(&buf));
+    }
+
+    #[test]
+    fn byte_at_a_time_trickle() {
+        let raw = b"GET /a%20b HTTP/1.1\r\nHost: x\r\nDepth: 0\r\n\r\n";
+        let mut p = parser();
+        let mut buf = Vec::new();
+        let mut done = None;
+        for (i, b) in raw.iter().enumerate() {
+            match feed(&mut p, &mut buf, &[*b]) {
+                Step::NeedMore => assert!(i + 1 < raw.len(), "no request at end of input"),
+                Step::Done(req) => {
+                    assert_eq!(i + 1, raw.len(), "finished early at byte {i}");
+                    done = Some(req);
+                }
+                Step::Reject(r) => panic!("rejected at byte {i}: {r:?}"),
+            }
+        }
+        let req = done.unwrap();
+        assert_eq!(req.target.path(), "/a b");
+        assert_eq!(req.headers.get("depth"), Some("0"));
+    }
+
+    #[test]
+    fn request_line_progress_is_visible() {
+        // The deadline switch (idle → body) keys off this flag.
+        let mut p = parser();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            feed(&mut p, &mut buf, b"PUT /x HTTP/1.1\r\nCont"),
+            Step::NeedMore
+        ));
+        assert!(p.saw_request_line());
+        assert!(p.in_progress(&buf));
+        // Partial request line only: not yet.
+        let mut p2 = parser();
+        let mut buf2 = Vec::new();
+        assert!(matches!(feed(&mut p2, &mut buf2, b"PUT /x HT"), Step::NeedMore));
+        assert!(!p2.saw_request_line());
+        assert!(p2.in_progress(&buf2));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let mut p = parser();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.1\r\n\r\n");
+        match p.advance(&mut buf) {
+            Step::Done(req) => assert_eq!(req.target.path(), "/one"),
+            other => panic!("{other:?}"),
+        }
+        // The second request is still buffered, untouched.
+        match p.advance(&mut buf) {
+            Step::Done(req) => assert_eq!(req.target.path(), "/two"),
+            other => panic!("{other:?}"),
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn chunked_body_across_fragments() {
+        let mut p = parser();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            feed(
+                &mut p,
+                &mut buf,
+                b"POST /c HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel"
+            ),
+            Step::NeedMore
+        ));
+        assert!(matches!(feed(&mut p, &mut buf, b"lo\r\n3\r"), Step::NeedMore));
+        match feed(&mut p, &mut buf, b"\nxyz\r\n0\r\n\r\n") {
+            Step::Done(req) => assert_eq!(req.body, b"helloxyz"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_trailers_are_skipped() {
+        let mut p = parser();
+        let mut buf = Vec::new();
+        let step = feed(
+            &mut p,
+            &mut buf,
+            b"POST /c HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nok\r\n0\r\nX-Sum: 1\r\n\r\n",
+        );
+        match step {
+            Step::Done(req) => assert_eq!(req.body, b"ok"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_header_line_rejects_431() {
+        let limits = Limits {
+            max_header_line: 64,
+            ..Limits::default()
+        };
+        let mut p = RequestParser::new(limits);
+        let mut buf = Vec::new();
+        let long = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "v".repeat(256));
+        match feed(&mut p, &mut buf, long.as_bytes()) {
+            Step::Reject(r) => assert_eq!(r.status.code(), 431),
+            other => panic!("{other:?}"),
+        }
+        // Detected even without a terminator in sight.
+        let mut p = RequestParser::new(limits);
+        let mut buf = Vec::new();
+        let no_newline = format!("GET / HTTP/1.1\r\nX-Big: {}", "v".repeat(256));
+        match feed(&mut p, &mut buf, no_newline.as_bytes()) {
+            Step::Reject(r) => assert_eq!(r.status.code(), 431),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_headers_reject_431() {
+        let limits = Limits {
+            max_headers: 3,
+            ..Limits::default()
+        };
+        let mut p = RequestParser::new(limits);
+        let mut buf = Vec::new();
+        let raw = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\nD: 4\r\n\r\n";
+        match feed(&mut p, &mut buf, raw) {
+            Step::Reject(r) => assert_eq!(r.status.code(), 431),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unframeable_content_length_rejects_400() {
+        for raw in [
+            b"PUT / HTTP/1.1\r\nContent-Length: banana\r\n\r\n".as_slice(),
+            b"PUT / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n".as_slice(),
+        ] {
+            let mut p = parser();
+            let mut buf = Vec::new();
+            match feed(&mut p, &mut buf, raw) {
+                Step::Reject(r) => assert_eq!(r.status.code(), 400),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_rejects_413_before_body_arrives() {
+        let limits = Limits {
+            max_body: 16,
+            ..Limits::default()
+        };
+        let mut p = RequestParser::new(limits);
+        let mut buf = Vec::new();
+        match feed(&mut p, &mut buf, b"PUT / HTTP/1.1\r\nContent-Length: 64\r\n\r\n") {
+            Step::Reject(r) => assert_eq!(r.status.code(), 413),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_and_garbage_reject_400() {
+        for raw in [
+            b"GET / HTTP/2\r\n\r\n".as_slice(),
+            b"NOT A REQUEST\r\n\r\n".as_slice(),
+        ] {
+            let mut p = parser();
+            let mut buf = Vec::new();
+            match feed(&mut p, &mut buf, raw) {
+                Step::Reject(r) => assert_eq!(r.status.code(), 400),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let mut p = parser();
+        let mut buf = Vec::new();
+        match feed(&mut p, &mut buf, b"GET / HTTP/1.1\nHost: x\n\n") {
+            Step::Done(req) => assert_eq!(req.headers.get("host"), Some("x")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_resets_cleanly_between_requests() {
+        let mut p = parser();
+        let mut buf = Vec::new();
+        for i in 0..5 {
+            let raw = format!("PUT /r{i} HTTP/1.1\r\nContent-Length: 2\r\n\r\n{i:02}");
+            match feed(&mut p, &mut buf, raw.as_bytes()) {
+                Step::Done(req) => {
+                    assert_eq!(req.target.path(), format!("/r{i}"));
+                    assert_eq!(req.body, format!("{i:02}").as_bytes());
+                }
+                other => panic!("{other:?}"),
+            }
+            assert!(!p.in_progress(&buf));
+        }
+    }
+}

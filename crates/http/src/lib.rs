@@ -8,11 +8,15 @@
 //! * [`message`] — [`Request`]/[`Response`] with builder APIs;
 //! * [`wire`] — parsing and serialisation, including chunked transfer
 //!   encoding and defensive size limits;
-//! * [`server::Server`] — a threaded TCP server with Apache-style
+//! * [`server::Server`] — a TCP server with Apache-style
 //!   configuration: persistent connections with a bounded request count,
 //!   an inter-request ("keep-alive") timeout, and a minimum worker pool —
 //!   the paper's "limits of 100 connections per minute, 15 seconds
-//!   between requests, and a minimum of 5 daemons";
+//!   between requests, and a minimum of 5 daemons". Two interchangeable
+//!   cores ([`server::ServerMode`]): the default epoll reactor (`poll`,
+//!   `conn`, `reactor` modules), where parked keep-alive connections
+//!   cost a fd instead of a thread, and the original thread-per-connection
+//!   core kept as the ablation baseline;
 //! * [`client::Client`] — a blocking client supporting both persistent
 //!   connections and per-request reconnects (the paper found reconnecting
 //!   *faster* in its environment — an anomaly the `connections` ablation
@@ -44,11 +48,14 @@
 
 pub mod auth;
 pub mod client;
+mod conn;
 pub mod error;
 pub mod fault;
 pub mod headers;
 pub mod message;
 pub mod method;
+pub mod poll;
+mod reactor;
 pub mod retry;
 pub mod server;
 pub mod status;
@@ -62,6 +69,6 @@ pub use headers::Headers;
 pub use message::{Request, Response, Version};
 pub use method::Method;
 pub use retry::RetryPolicy;
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerMode};
 pub use status::StatusCode;
 pub use uri::Target;

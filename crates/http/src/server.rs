@@ -1,4 +1,5 @@
-//! A threaded HTTP/1.1 server with Apache-style connection management.
+//! An HTTP/1.1 server with Apache-style connection management and two
+//! interchangeable cores.
 //!
 //! The paper's test server was "configured to use basic authentication,
 //! to accept persistent connections with limits of 100 connections per
@@ -9,6 +10,22 @@
 //! (`max_requests_per_connection`), and an inter-request keep-alive
 //! timeout (`keep_alive_timeout`) kept separate from the in-request
 //! body read deadline (`body_read_timeout`).
+//!
+//! [`ServerMode`] selects the core:
+//!
+//! * [`ServerMode::Reactor`] (default) — an epoll event loop
+//!   ([`crate::reactor`]) where parked keep-alive connections cost a fd
+//!   plus a few hundred bytes and exactly `min_daemons` workers do the
+//!   handler work. This is the C10k-capable core.
+//! * [`ServerMode::Threaded`] — the original thread-per-connection
+//!   model, kept as the honest ablation baseline (the same pattern as
+//!   the store's `global_lock`): each worker owns one connection to
+//!   completion, and overflow workers up to `max_daemons` absorb
+//!   keep-alive starvation.
+//!
+//! Both cores run every request through the same [`Engine`], so
+//! authentication, the request budget, metrics, and tracing cannot
+//! drift between them.
 //!
 //! Every server records into a [`pse_obs::Registry`] (its own, or one
 //! shared through [`ServerConfig::obs`]): per-method request counters,
@@ -28,7 +45,7 @@ use crate::status::StatusCode;
 use crate::wire::{self, Limits};
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
-use pse_obs::{Registry, TraceEvent};
+use pse_obs::{Histogram, Registry, TraceEvent};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -40,19 +57,55 @@ use std::time::{Duration, Instant};
 /// The reserved metrics path, answered before auth and dispatch.
 pub const METRICS_PATH: &str = "/.well-known/metrics";
 
+/// Which server core runs the connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// Event-driven epoll reactor with a fixed pool of `min_daemons`
+    /// workers. Parked keep-alive connections cost a fd, not a thread.
+    #[default]
+    Reactor,
+    /// Thread-per-connection, growing to `max_daemons` under pressure.
+    /// Preserved as the ablation baseline for the scaling benches.
+    Threaded,
+}
+
+impl ServerMode {
+    /// Parse `"reactor"` / `"threaded"` (used by the `PSE_HTTP_MODE`
+    /// env knob in the stress suites and benches).
+    pub fn parse(s: &str) -> Option<ServerMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reactor" => Some(ServerMode::Reactor),
+            "threaded" => Some(ServerMode::Threaded),
+            _ => None,
+        }
+    }
+
+    /// The name `parse` accepts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServerMode::Reactor => "reactor",
+            ServerMode::Threaded => "threaded",
+        }
+    }
+}
+
 /// Connection-management configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Resident worker threads accepting queued connections — the
-    /// paper's "minimum of 5 daemons". Each serves one connection to
-    /// completion.
+    /// Which core serves connections (reactor by default; threaded is
+    /// the ablation baseline).
+    pub mode: ServerMode,
+    /// Resident worker threads — the paper's "minimum of 5 daemons".
+    /// The reactor's fixed pool is exactly this size; threaded workers
+    /// each serve one connection to completion.
     pub min_daemons: usize,
-    /// Worker-pool ceiling. When every resident worker is pinned by a
-    /// persistent connection and fresh connections are queueing,
-    /// overflow workers are spawned up to this total and retire once
-    /// the queue drains — without this, `min_daemons` idle keep-alive
-    /// clients starve every new client for up to the keep-alive
-    /// timeout.
+    /// Worker-pool ceiling, used by the threaded core only. When every
+    /// resident worker is pinned by a persistent connection and fresh
+    /// connections are queueing, overflow workers are spawned up to
+    /// this total and retire once the queue drains — without this,
+    /// `min_daemons` idle keep-alive clients starve every new client
+    /// for up to the keep-alive timeout. The reactor needs no overflow:
+    /// parked connections do not occupy workers at all.
     pub max_daemons: usize,
     /// Requests served on one persistent connection before it is closed —
     /// the paper's "100 connections per minute" budget analogue
@@ -80,6 +133,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            mode: ServerMode::default(),
             min_daemons: 5,
             max_daemons: 64,
             max_requests_per_connection: 100,
@@ -103,7 +157,145 @@ pub struct ServerStats {
     pub auth_failures: AtomicU64,
 }
 
-/// Worker-pool bookkeeping, exported as gauges through the registry.
+/// One request's worth of processing output, produced by
+/// [`Engine::respond`] and consumed by [`Engine::finish`] once the
+/// response bytes have gone out (or been handed to the reactor).
+pub(crate) struct Exchange {
+    pub(crate) resp: Response,
+    /// HEAD request: serialise headers only.
+    pub(crate) head_only: bool,
+    /// Close the connection after this response (client asked, budget
+    /// exhausted, or the handler set `Connection: close`).
+    pub(crate) close: bool,
+    trace_what: String,
+    started: Instant,
+}
+
+impl Exchange {
+    /// The 500 sent when a handler panics under the reactor, whose
+    /// fixed pool cannot afford to lose the worker thread.
+    pub(crate) fn handler_panicked(started: Instant) -> Exchange {
+        Exchange {
+            resp: Response::error(StatusCode::INTERNAL_ERROR, "internal server error")
+                .with_header("Connection", "close"),
+            head_only: false,
+            close: true,
+            trace_what: String::new(),
+            started,
+        }
+    }
+}
+
+/// The mode-independent request core: metrics endpoint, per-method
+/// counters, the auth gate, handler dispatch, connection-close policy,
+/// and exchange accounting. Both the threaded workers and the reactor
+/// workers run every request through this, so behaviour cannot drift
+/// between the cores.
+pub(crate) struct Engine {
+    pub(crate) handler: Box<dyn Fn(Request) -> Response + Send + Sync>,
+    pub(crate) config: ServerConfig,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) obs: Arc<Registry>,
+    latency: Histogram,
+}
+
+impl Engine {
+    fn new<H>(config: ServerConfig, handler: H, stats: Arc<ServerStats>, obs: Arc<Registry>) -> Engine
+    where
+        H: Fn(Request) -> Response + Send + Sync + 'static,
+    {
+        Engine {
+            handler: Box::new(handler),
+            latency: obs.histogram("http.request_latency_us"),
+            config,
+            stats,
+            obs,
+        }
+    }
+
+    /// Process one request. `served` is how many requests this
+    /// connection completed before this one (for the budget);
+    /// `started` stamps the latency measurement.
+    pub(crate) fn respond(&self, req: Request, served: usize, started: Instant) -> Exchange {
+        let obs = &self.obs;
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let head_only = req.method == Method::Head;
+        // HTTP/1.0 clients get close-by-default semantics; on the last
+        // budgeted request we advertise the close so the client can
+        // re-connect instead of discovering a stale connection later.
+        let client_wants_close = !wire::keep_alive(req.version, &req.headers);
+        let budget_exhausted = served + 1 >= self.config.max_requests_per_connection;
+        let trace_what = if obs.is_enabled() {
+            format!("{} {}", req.method, req.target.path())
+        } else {
+            String::new()
+        };
+
+        // The metrics endpoint is reserved and answered before auth and
+        // dispatch, so a locked-down server is still scrapeable.
+        let mut resp = if req.method == Method::Get && req.target.path() == METRICS_PATH {
+            obs.counter("http.requests.metrics").inc();
+            Response::ok()
+                .with_header("Content-Type", "text/plain; charset=utf-8")
+                .with_header("Cache-Control", "no-store")
+                .with_body(obs.render_text())
+        } else {
+            if obs.is_enabled() {
+                obs.counter(&format!(
+                    "http.requests.{}",
+                    req.method.as_str().to_ascii_lowercase()
+                ))
+                .inc();
+            }
+            match &self.config.auth {
+                Some(store) => match store.authenticate(req.headers.get("Authorization")) {
+                    Some(_) => (self.handler)(req),
+                    None => {
+                        self.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+                        obs.counter("http.auth_failures").inc();
+                        Response::error(StatusCode::UNAUTHORIZED, "authentication required")
+                            .with_header("WWW-Authenticate", store.challenge())
+                    }
+                },
+                None => (self.handler)(req),
+            }
+        };
+        let mut close = client_wants_close || budget_exhausted;
+        if close {
+            resp.headers.set("Connection", "close");
+        } else if !wire::keep_alive(resp.version, &resp.headers) {
+            close = true; // the handler asked for the close itself
+        }
+        Exchange {
+            resp,
+            head_only,
+            close,
+            trace_what,
+            started,
+        }
+    }
+
+    /// Record the completed exchange: latency, status class, trace.
+    /// `bytes` is what went (or will go) onto the wire.
+    pub(crate) fn finish(&self, ex: Exchange, bytes: u64) {
+        if self.obs.is_enabled() {
+            let us = ex.started.elapsed().as_micros() as u64;
+            self.latency.observe(us);
+            self.obs
+                .counter(&format!("http.responses.{}xx", ex.resp.status.code() / 100))
+                .inc();
+            self.obs.trace(TraceEvent {
+                what: ex.trace_what,
+                status: ex.resp.status.code(),
+                duration_us: us,
+                bytes,
+            });
+        }
+    }
+}
+
+/// Worker-pool bookkeeping for the threaded core, exported as gauges
+/// through the registry.
 #[derive(Debug, Default)]
 struct PoolState {
     /// Accepted connections waiting for a worker (signed to tolerate
@@ -117,12 +309,10 @@ struct PoolState {
     active: AtomicUsize,
 }
 
-/// State shared by the accept loop and every worker.
+/// State shared by the threaded accept loop and every worker.
 struct Shared {
     rx: Receiver<TcpStream>,
-    handler: Box<dyn Fn(Request) -> Response + Send + Sync>,
-    config: ServerConfig,
-    stats: Arc<ServerStats>,
+    engine: Arc<Engine>,
     /// Live connections keyed by a serial id, force-closed on shutdown so
     /// keep-alive reads do not hold the process for the full
     /// inter-request timeout. Entries are removed (closing the duplicate
@@ -130,25 +320,33 @@ struct Shared {
     live: Mutex<HashMap<u64, TcpStream>>,
     conn_serial: AtomicU64,
     pool: Arc<PoolState>,
-    obs: Arc<Registry>,
     /// Join handles for every spawned worker, resident and overflow.
     workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The mode-specific half of a running server.
+enum Backend {
+    Threaded {
+        stop: Arc<AtomicBool>,
+        accept_thread: Option<JoinHandle<()>>,
+        shared: Arc<Shared>,
+    },
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::Handle),
 }
 
 /// A running HTTP server. Dropping the handle does *not* stop the server;
 /// call [`Server::shutdown`].
 pub struct Server {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    shared: Arc<Shared>,
     stats: Arc<ServerStats>,
+    obs: Arc<Registry>,
+    backend: Backend,
 }
 
 impl Server {
-    /// Bind to `addr` and serve `handler` on a pool of
-    /// `config.min_daemons` resident workers, growing under load to
-    /// `config.max_daemons`.
+    /// Bind to `addr` and serve `handler` with the core selected by
+    /// [`ServerConfig::mode`].
     pub fn bind<A, H>(addr: A, config: ServerConfig, handler: H) -> Result<Server>
     where
         A: ToSocketAddrs,
@@ -156,73 +354,24 @@ impl Server {
     {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let obs = config.obs.clone().unwrap_or_else(Registry::new);
-        let (tx, rx) = unbounded::<TcpStream>();
+        let mode = config.mode;
+        let engine = Engine::new(config, handler, Arc::clone(&stats), Arc::clone(&obs));
 
-        let pool = Arc::new(PoolState::default());
-        let shared = Arc::new(Shared {
-            rx,
-            handler: Box::new(handler),
-            config,
-            stats: Arc::clone(&stats),
-            live: Mutex::new(HashMap::new()),
-            conn_serial: AtomicU64::new(0),
-            pool: Arc::clone(&pool),
-            obs: Arc::clone(&obs),
-            workers: Mutex::new(Vec::new()),
-        });
-
-        // Pool gauges are read straight off the atomics at snapshot
-        // time. The source captures only the pool state, not `Shared`,
-        // so no reference cycle through the registry forms.
-        obs.register_source("http.pool", move |snap| {
-            snap.set_gauge(
-                "http.accept_queue_depth",
-                pool.queued.load(Ordering::Relaxed),
-            );
-            snap.set_gauge(
-                "http.active_connections",
-                pool.active.load(Ordering::Relaxed) as i64,
-            );
-            snap.set_gauge("http.workers_total", pool.total.load(Ordering::Relaxed) as i64);
-            snap.set_gauge("http.workers_idle", pool.idle.load(Ordering::Relaxed) as i64);
-        });
-
-        for _ in 0..shared.config.min_daemons.max(1) {
-            spawn_worker(&shared, true);
-        }
-
-        let accept_stop = Arc::clone(&stop);
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => {
-                        accept_shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-                        let _ = s.set_nodelay(true);
-                        accept_shared.pool.queued.fetch_add(1, Ordering::Relaxed);
-                        if tx.send(s).is_err() {
-                            break;
-                        }
-                        maybe_spawn_overflow(&accept_shared);
-                    }
-                    Err(_) => continue,
-                }
-            }
-            // Dropping tx closes the channel and drains the workers.
-        });
+        let backend = match mode {
+            #[cfg(target_os = "linux")]
+            ServerMode::Reactor => Backend::Reactor(crate::reactor::spawn(listener, engine)?),
+            #[cfg(not(target_os = "linux"))]
+            ServerMode::Reactor => bind_threaded(listener, engine)?, // no epoll off Linux
+            ServerMode::Threaded => bind_threaded(listener, engine)?,
+        };
 
         Ok(Server {
             addr: local,
-            stop,
-            accept_thread: Some(accept_thread),
-            shared,
             stats,
+            obs,
+            backend,
         })
     }
 
@@ -238,34 +387,115 @@ impl Server {
 
     /// The metric registry this server records into.
     pub fn registry(&self) -> Arc<Registry> {
-        Arc::clone(&self.shared.obs)
+        Arc::clone(&self.obs)
     }
 
-    /// Stop accepting, drain the workers, and join all threads.
+    /// Stop accepting, close live connections promptly (no waiting out
+    /// keep-alive timers), and join every thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Force idle keep-alive connections closed so workers drain now
-        // rather than after the inter-request timeout.
-        for (_, s) in self.shared.live.lock().drain() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
-        }
-        // Join workers, including overflow workers spawned after bind.
-        loop {
-            let handles: Vec<JoinHandle<()>> =
-                std::mem::take(&mut *self.shared.workers.lock());
-            if handles.is_empty() {
-                break;
+        match &mut self.backend {
+            Backend::Threaded {
+                stop,
+                accept_thread,
+                shared,
+            } => {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop with a dummy connection.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                // Force idle keep-alive connections closed so workers
+                // drain now rather than after the inter-request timeout.
+                for (_, s) in shared.live.lock().drain() {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+                // Join workers, including overflow workers spawned after
+                // bind.
+                loop {
+                    let handles: Vec<JoinHandle<()>> =
+                        std::mem::take(&mut *shared.workers.lock());
+                    if handles.is_empty() {
+                        break;
+                    }
+                    for w in handles {
+                        let _ = w.join();
+                    }
+                }
             }
-            for w in handles {
-                let _ = w.join();
-            }
+            #[cfg(target_os = "linux")]
+            Backend::Reactor(handle) => handle.shutdown(),
         }
     }
+}
+
+/// Start the thread-per-connection core on an already-bound listener.
+fn bind_threaded(listener: TcpListener, engine: Engine) -> Result<Backend> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = unbounded::<TcpStream>();
+    let pool = Arc::new(PoolState::default());
+    let engine = Arc::new(engine);
+    let shared = Arc::new(Shared {
+        rx,
+        engine: Arc::clone(&engine),
+        live: Mutex::new(HashMap::new()),
+        conn_serial: AtomicU64::new(0),
+        pool: Arc::clone(&pool),
+        workers: Mutex::new(Vec::new()),
+    });
+
+    // Pool gauges are read straight off the atomics at snapshot
+    // time. The source captures only the pool state, not `Shared`,
+    // so no reference cycle through the registry forms.
+    engine.obs.register_source("http.pool", move |snap| {
+        snap.set_gauge(
+            "http.accept_queue_depth",
+            pool.queued.load(Ordering::Relaxed),
+        );
+        snap.set_gauge(
+            "http.active_connections",
+            pool.active.load(Ordering::Relaxed) as i64,
+        );
+        snap.set_gauge("http.workers_total", pool.total.load(Ordering::Relaxed) as i64);
+        snap.set_gauge("http.workers_idle", pool.idle.load(Ordering::Relaxed) as i64);
+    });
+
+    for _ in 0..shared.engine.config.min_daemons.max(1) {
+        spawn_worker(&shared, true);
+    }
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    accept_shared
+                        .engine
+                        .stats
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = s.set_nodelay(true);
+                    accept_shared.pool.queued.fetch_add(1, Ordering::Relaxed);
+                    if tx.send(s).is_err() {
+                        break;
+                    }
+                    maybe_spawn_overflow(&accept_shared);
+                }
+                Err(_) => continue,
+            }
+        }
+        // Dropping tx closes the channel and drains the workers.
+    });
+
+    Ok(Backend::Threaded {
+        stop,
+        accept_thread: Some(accept_thread),
+        shared,
+    })
 }
 
 /// Spawn one worker thread. Resident workers block on the queue for the
@@ -290,13 +520,14 @@ fn maybe_spawn_overflow(shared: &Arc<Shared>) {
         return; // an idle worker will pick it up
     }
     let max = shared
+        .engine
         .config
         .max_daemons
-        .max(shared.config.min_daemons.max(1));
+        .max(shared.engine.config.min_daemons.max(1));
     if pool.total.load(Ordering::Relaxed) >= max {
         return;
     }
-    shared.obs.counter("http.overflow_workers_spawned").inc();
+    shared.engine.obs.counter("http.overflow_workers_spawned").inc();
     spawn_worker(shared, false);
 }
 
@@ -333,9 +564,9 @@ fn worker_loop(shared: &Shared, resident: bool) {
 
 /// Serve one (possibly persistent) connection to completion.
 fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
-    let config = &shared.config;
-    let stats = &shared.stats;
-    let obs = &shared.obs;
+    let engine = &shared.engine;
+    let config = &engine.config;
+    let obs = &engine.obs;
     // A duplicate handle for switching the socket read timeout while
     // the reader is borrowed (timeouts live on the shared socket).
     let timeout_ctl = stream.try_clone()?;
@@ -346,7 +577,6 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
     let counted_out = pse_obs::io::CountingWriter::new(stream, obs.counter("http.bytes_out"));
     let out_total = counted_out.total();
     let mut writer = BufWriter::new(counted_out);
-    let latency = obs.histogram("http.request_latency_us");
     for served in 0..config.max_requests_per_connection {
         // Between requests the short keep-alive timeout governs; once a
         // request line arrives, the longer in-request deadline takes
@@ -366,11 +596,15 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
                 return Ok(()); // keep-alive timeout expired
             }
             Err(Error::TooLarge { what, limit }) => {
-                let resp = Response::error(
-                    StatusCode::ENTITY_TOO_LARGE,
-                    &format!("{what} exceeds {limit} bytes"),
-                )
-                .with_header("Connection", "close");
+                // Header overflows answer 431 (RFC 6585), body
+                // overflows 413 — matching the reactor's parser.
+                let status = if what.starts_with("header") {
+                    StatusCode::HEADER_FIELDS_TOO_LARGE
+                } else {
+                    StatusCode::ENTITY_TOO_LARGE
+                };
+                let resp = Response::error(status, &format!("{what} exceeds {limit} bytes"))
+                    .with_header("Connection", "close");
                 obs.counter("http.responses.4xx").inc();
                 let _ = wire::write_response(&mut writer, &resp, false);
                 return Ok(());
@@ -388,66 +622,14 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
         };
         let started = Instant::now();
         let out_before = out_total.load(Ordering::Relaxed);
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        let head_only = req.method == Method::Head;
-        // HTTP/1.0 clients get close-by-default semantics; on the last
-        // budgeted request we advertise the close so the client can
-        // re-connect instead of discovering a stale connection later.
-        let client_wants_close = !wire::keep_alive(req.version, &req.headers);
-        let budget_exhausted = served + 1 == config.max_requests_per_connection;
-        let trace_what = if obs.is_enabled() {
-            format!("{} {}", req.method, req.target.path())
-        } else {
-            String::new()
-        };
-
-        // The metrics endpoint is reserved and answered before auth and
-        // dispatch, so a locked-down server is still scrapeable.
-        let mut resp = if req.method == Method::Get && req.target.path() == METRICS_PATH {
-            obs.counter("http.requests.metrics").inc();
-            Response::ok()
-                .with_header("Content-Type", "text/plain; charset=utf-8")
-                .with_header("Cache-Control", "no-store")
-                .with_body(obs.render_text())
-        } else {
-            if obs.is_enabled() {
-                obs.counter(&format!(
-                    "http.requests.{}",
-                    req.method.as_str().to_ascii_lowercase()
-                ))
-                .inc();
-            }
-            match &config.auth {
-                Some(store) => match store.authenticate(req.headers.get("Authorization")) {
-                    Some(_) => (shared.handler)(req),
-                    None => {
-                        stats.auth_failures.fetch_add(1, Ordering::Relaxed);
-                        obs.counter("http.auth_failures").inc();
-                        Response::error(StatusCode::UNAUTHORIZED, "authentication required")
-                            .with_header("WWW-Authenticate", store.challenge())
-                    }
-                },
-                None => (shared.handler)(req),
-            }
-        };
-        if client_wants_close || budget_exhausted {
-            resp.headers.set("Connection", "close");
-        }
-        wire::write_response(&mut writer, &resp, head_only)?;
-        if obs.is_enabled() {
-            let us = started.elapsed().as_micros() as u64;
-            latency.observe(us);
-            obs.counter(&format!("http.responses.{}xx", resp.status.code() / 100))
-                .inc();
-            obs.trace(TraceEvent {
-                what: trace_what,
-                status: resp.status.code(),
-                duration_us: us,
-                bytes: out_total.load(Ordering::Relaxed).saturating_sub(out_before),
-            });
-        }
-        if client_wants_close || budget_exhausted || !wire::keep_alive(resp.version, &resp.headers)
-        {
+        let ex = engine.respond(req, served, started);
+        wire::write_response(&mut writer, &ex.resp, ex.head_only)?;
+        let close = ex.close;
+        engine.finish(
+            ex,
+            out_total.load(Ordering::Relaxed).saturating_sub(out_before),
+        );
+        if close {
             return Ok(());
         }
     }
@@ -489,75 +671,99 @@ mod tests {
         (head, body)
     }
 
+    /// Every mode-agnostic test runs against both cores.
+    fn both_modes(f: impl Fn(ServerMode)) {
+        for mode in [ServerMode::Reactor, ServerMode::Threaded] {
+            f(mode);
+        }
+    }
+
     #[test]
     fn serves_requests() {
-        let server = echo_server(ServerConfig::default());
-        let mut client = Client::connect(server.local_addr()).unwrap();
-        let resp = client.get("/x").unwrap();
-        assert_eq!(resp.status.code(), 200);
-        assert_eq!(resp.headers.get("x-method"), Some("GET"));
-        server.shutdown();
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            });
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let resp = client.get("/x").unwrap();
+            assert_eq!(resp.status.code(), 200, "{mode:?}");
+            assert_eq!(resp.headers.get("x-method"), Some("GET"));
+            server.shutdown();
+        });
     }
 
     #[test]
     fn persistent_connection_reuses_socket() {
-        let server = echo_server(ServerConfig::default());
-        let mut client = Client::connect(server.local_addr()).unwrap();
-        for i in 0..10 {
-            let resp = client
-                .send(Request::new(Method::Put, "/x").with_body(format!("body-{i}")))
-                .unwrap();
-            assert_eq!(resp.body_text(), format!("body-{i}"));
-        }
-        // Ten requests, one TCP connection.
-        assert_eq!(server.stats().connections.load(Ordering::Relaxed), 1);
-        assert_eq!(server.stats().requests.load(Ordering::Relaxed), 10);
-        server.shutdown();
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            });
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            for i in 0..10 {
+                let resp = client
+                    .send(Request::new(Method::Put, "/x").with_body(format!("body-{i}")))
+                    .unwrap();
+                assert_eq!(resp.body_text(), format!("body-{i}"));
+            }
+            // Ten requests, one TCP connection.
+            assert_eq!(server.stats().connections.load(Ordering::Relaxed), 1);
+            assert_eq!(server.stats().requests.load(Ordering::Relaxed), 10);
+            server.shutdown();
+        });
     }
 
     #[test]
     fn request_budget_closes_connection() {
-        let server = echo_server(ServerConfig {
-            max_requests_per_connection: 2,
-            ..ServerConfig::default()
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                max_requests_per_connection: 2,
+                ..ServerConfig::default()
+            });
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            for _ in 0..6 {
+                // The client transparently reconnects when the server
+                // closes.
+                let resp = client.get("/").unwrap();
+                assert_eq!(resp.status.code(), 200);
+            }
+            assert!(server.stats().connections.load(Ordering::Relaxed) >= 3);
+            server.shutdown();
         });
-        let mut client = Client::connect(server.local_addr()).unwrap();
-        for _ in 0..6 {
-            // The client transparently reconnects when the server closes.
-            let resp = client.get("/").unwrap();
-            assert_eq!(resp.status.code(), 200);
-        }
-        assert!(server.stats().connections.load(Ordering::Relaxed) >= 3);
-        server.shutdown();
     }
 
     #[test]
     fn auth_challenge_and_success() {
-        let mut store = UserStore::new("Ecce");
-        store.add_user("karen", "pw");
-        let server = echo_server(ServerConfig {
-            auth: Some(store),
-            ..ServerConfig::default()
+        both_modes(|mode| {
+            let mut store = UserStore::new("Ecce");
+            store.add_user("karen", "pw");
+            let server = echo_server(ServerConfig {
+                mode,
+                auth: Some(store),
+                ..ServerConfig::default()
+            });
+            // Unauthenticated.
+            let mut anon = Client::connect(server.local_addr()).unwrap();
+            let resp = anon.get("/").unwrap();
+            assert_eq!(resp.status, StatusCode::UNAUTHORIZED);
+            assert!(resp
+                .headers
+                .get("www-authenticate")
+                .unwrap()
+                .contains("Ecce"));
+            // Authenticated.
+            let mut authed = Client::connect(server.local_addr()).unwrap();
+            authed.set_credentials(Credentials::new("karen", "pw"));
+            assert_eq!(authed.get("/").unwrap().status.code(), 200);
+            // Wrong password.
+            let mut bad = Client::connect(server.local_addr()).unwrap();
+            bad.set_credentials(Credentials::new("karen", "nope"));
+            assert_eq!(bad.get("/").unwrap().status, StatusCode::UNAUTHORIZED);
+            assert!(server.stats().auth_failures.load(Ordering::Relaxed) >= 2);
+            server.shutdown();
         });
-        // Unauthenticated.
-        let mut anon = Client::connect(server.local_addr()).unwrap();
-        let resp = anon.get("/").unwrap();
-        assert_eq!(resp.status, StatusCode::UNAUTHORIZED);
-        assert!(resp
-            .headers
-            .get("www-authenticate")
-            .unwrap()
-            .contains("Ecce"));
-        // Authenticated.
-        let mut authed = Client::connect(server.local_addr()).unwrap();
-        authed.set_credentials(Credentials::new("karen", "pw"));
-        assert_eq!(authed.get("/").unwrap().status.code(), 200);
-        // Wrong password.
-        let mut bad = Client::connect(server.local_addr()).unwrap();
-        bad.set_credentials(Credentials::new("karen", "nope"));
-        assert_eq!(bad.get("/").unwrap().status, StatusCode::UNAUTHORIZED);
-        assert!(server.stats().auth_failures.load(Ordering::Relaxed) >= 2);
-        server.shutdown();
     }
 
     #[test]
@@ -565,135 +771,194 @@ mod tests {
         // Regression: the version used to be parsed then discarded, so a
         // 1.0 client without `Connection: keep-alive` hung for the full
         // 15 s keep-alive timeout waiting for the server's FIN.
-        let server = echo_server(ServerConfig::default());
-        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        raw.write_all(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
-        let start = std::time::Instant::now();
-        let mut buf = Vec::new();
-        raw.read_to_end(&mut buf).unwrap(); // returns only once the server closes
-        let text = String::from_utf8_lossy(&buf);
-        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
-        assert!(text.to_ascii_lowercase().contains("connection: close"), "{text}");
-        assert!(
-            start.elapsed() < Duration::from_secs(5),
-            "HTTP/1.0 connection held open {:?}",
-            start.elapsed()
-        );
-        server.shutdown();
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            });
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            raw.write_all(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
+            let start = std::time::Instant::now();
+            let mut buf = Vec::new();
+            raw.read_to_end(&mut buf).unwrap(); // returns only once the server closes
+            let text = String::from_utf8_lossy(&buf);
+            assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+            assert!(text.to_ascii_lowercase().contains("connection: close"), "{text}");
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "HTTP/1.0 connection held open {:?}",
+                start.elapsed()
+            );
+            server.shutdown();
+        });
     }
 
     #[test]
     fn budget_final_response_advertises_close() {
-        let server = echo_server(ServerConfig {
-            max_requests_per_connection: 2,
-            ..ServerConfig::default()
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                max_requests_per_connection: 2,
+                ..ServerConfig::default()
+            });
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            raw.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+                .unwrap();
+            let mut buf = Vec::new();
+            raw.read_to_end(&mut buf).unwrap();
+            let text = String::from_utf8_lossy(&buf);
+            // First response keeps the connection, the second
+            // (budget-final) advertises the close so clients reconnect
+            // proactively.
+            let closes = text.to_ascii_lowercase().matches("connection: close").count();
+            assert_eq!(closes, 1, "{text}");
+            server.shutdown();
         });
-        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        raw.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
-            .unwrap();
-        let mut buf = Vec::new();
-        raw.read_to_end(&mut buf).unwrap();
-        let text = String::from_utf8_lossy(&buf);
-        // First response keeps the connection, the second (budget-final)
-        // advertises the close so clients reconnect proactively.
-        let closes = text.to_ascii_lowercase().matches("connection: close").count();
-        assert_eq!(closes, 1, "{text}");
-        server.shutdown();
     }
 
     #[test]
     fn unparseable_content_length_cannot_desync_pipeline() {
         // Regression: `Content-Length: banana` used to read as 0, leaving
         // the body bytes on the stream to be served as a second request.
-        let server = echo_server(ServerConfig::default());
-        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        raw.write_all(
-            b"PUT /x HTTP/1.1\r\nContent-Length: banana\r\n\r\nGET /smuggled HTTP/1.1\r\n\r\n",
-        )
-        .unwrap();
-        let mut buf = Vec::new();
-        raw.read_to_end(&mut buf).unwrap();
-        let text = String::from_utf8_lossy(&buf);
-        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
-        // Exactly one response: the smuggled GET was never served.
-        assert_eq!(text.matches("HTTP/1.1 ").count(), 1, "{text}");
-        server.shutdown();
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            });
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            raw.write_all(
+                b"PUT /x HTTP/1.1\r\nContent-Length: banana\r\n\r\nGET /smuggled HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+            let mut buf = Vec::new();
+            raw.read_to_end(&mut buf).unwrap();
+            let text = String::from_utf8_lossy(&buf);
+            assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+            // Exactly one response: the smuggled GET was never served.
+            assert_eq!(text.matches("HTTP/1.1 ").count(), 1, "{text}");
+            server.shutdown();
+        });
     }
 
     #[test]
     fn malformed_request_gets_400() {
-        let server = echo_server(ServerConfig::default());
-        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        raw.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
-        let mut buf = Vec::new();
-        raw.read_to_end(&mut buf).unwrap();
-        let text = String::from_utf8_lossy(&buf);
-        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
-        server.shutdown();
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            });
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            raw.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+            let mut buf = Vec::new();
+            raw.read_to_end(&mut buf).unwrap();
+            let text = String::from_utf8_lossy(&buf);
+            assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+            server.shutdown();
+        });
     }
 
     #[test]
     fn oversized_body_gets_413() {
-        let server = echo_server(ServerConfig {
-            limits: Limits {
-                max_body: 16,
-                ..Limits::default()
-            },
-            ..ServerConfig::default()
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                limits: Limits {
+                    max_body: 16,
+                    ..Limits::default()
+                },
+                ..ServerConfig::default()
+            });
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let resp = client
+                .send(Request::new(Method::Put, "/big").with_body(vec![0u8; 64]))
+                .unwrap();
+            assert_eq!(resp.status, StatusCode::ENTITY_TOO_LARGE);
+            server.shutdown();
         });
-        let mut client = Client::connect(server.local_addr()).unwrap();
-        let resp = client
-            .send(Request::new(Method::Put, "/big").with_body(vec![0u8; 64]))
-            .unwrap();
-        assert_eq!(resp.status, StatusCode::ENTITY_TOO_LARGE);
-        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_header_line_gets_431() {
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                limits: Limits {
+                    max_header_line: 64,
+                    ..Limits::default()
+                },
+                ..ServerConfig::default()
+            });
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            let req = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "v".repeat(256));
+            raw.write_all(req.as_bytes()).unwrap();
+            let mut buf = Vec::new();
+            raw.read_to_end(&mut buf).unwrap();
+            let text = String::from_utf8_lossy(&buf);
+            assert!(text.starts_with("HTTP/1.1 431"), "{mode:?}: {text}");
+            server.shutdown();
+        });
     }
 
     #[test]
     fn concurrent_clients() {
-        let server = echo_server(ServerConfig::default());
-        let addr = server.local_addr();
-        let threads: Vec<_> = (0..8)
-            .map(|t| {
-                std::thread::spawn(move || {
-                    let mut c = Client::connect(addr).unwrap();
-                    for i in 0..20 {
-                        let resp = c
-                            .send(Request::new(Method::Post, "/t").with_body(format!("{t}:{i}")))
-                            .unwrap();
-                        assert_eq!(resp.body_text(), format!("{t}:{i}"));
-                    }
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            });
+            let addr = server.local_addr();
+            let threads: Vec<_> = (0..8)
+                .map(|t| {
+                    std::thread::spawn(move || {
+                        let mut c = Client::connect(addr).unwrap();
+                        for i in 0..20 {
+                            let resp = c
+                                .send(
+                                    Request::new(Method::Post, "/t").with_body(format!("{t}:{i}")),
+                                )
+                                .unwrap();
+                            assert_eq!(resp.body_text(), format!("{t}:{i}"));
+                        }
+                    })
                 })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert_eq!(server.stats().requests.load(Ordering::Relaxed), 160);
-        server.shutdown();
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(server.stats().requests.load(Ordering::Relaxed), 160);
+            server.shutdown();
+        });
     }
 
     #[test]
     fn head_requests_suppress_body() {
-        let server = Server::bind("127.0.0.1:0", ServerConfig::default(), |_req| {
-            Response::ok().with_body("payload")
-        })
-        .unwrap();
-        let mut client = Client::connect(server.local_addr()).unwrap();
-        let resp = client.send(Request::new(Method::Head, "/")).unwrap();
-        assert!(resp.body.is_empty());
-        assert_eq!(resp.headers.content_length(), Some(7));
-        server.shutdown();
+        both_modes(|mode| {
+            let server = Server::bind(
+                "127.0.0.1:0",
+                ServerConfig {
+                    mode,
+                    ..ServerConfig::default()
+                },
+                |_req| Response::ok().with_body("payload"),
+            )
+            .unwrap();
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let resp = client.send(Request::new(Method::Head, "/")).unwrap();
+            assert!(resp.body.is_empty());
+            assert_eq!(resp.headers.content_length(), Some(7));
+            server.shutdown();
+        });
     }
 
     #[test]
     fn idle_keepalive_connections_do_not_starve_new_clients() {
-        // Regression: with exactly `min_daemons` workers each serving one
-        // connection to completion, two idle keep-alive clients pinned
-        // both workers and a fresh client sat in the accept queue until
-        // a keep-alive timeout freed a worker (up to 15 s). Overflow
-        // workers must absorb the queue instead.
+        // Regression (threaded core): with exactly `min_daemons` workers
+        // each serving one connection to completion, two idle keep-alive
+        // clients pinned both workers and a fresh client sat in the
+        // accept queue until a keep-alive timeout freed a worker (up to
+        // 15 s). Overflow workers must absorb the queue instead.
         let server = echo_server(ServerConfig {
+            mode: ServerMode::Threaded,
             min_daemons: 2,
             max_daemons: 8,
             ..ServerConfig::default()
@@ -730,94 +995,206 @@ mod tests {
     }
 
     #[test]
+    fn reactor_parked_connections_do_not_consume_workers() {
+        // The reactor-side starvation regression: idle keep-alive
+        // connections outnumbering the whole worker pool must cost
+        // nothing — no overflow workers, no pinned workers, and a fresh
+        // client served immediately.
+        let server = echo_server(ServerConfig {
+            mode: ServerMode::Reactor,
+            min_daemons: 2,
+            max_daemons: 2, // no overflow headroom: parking must be free
+            ..ServerConfig::default()
+        });
+        let mut pinned = Vec::new();
+        for _ in 0..8 {
+            let mut s = TcpStream::connect(server.local_addr()).unwrap();
+            s.write_all(b"GET /pin HTTP/1.1\r\n\r\n").unwrap();
+            let (head, _) = read_raw_response(&mut s);
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            pinned.push(s);
+        }
+        let start = Instant::now();
+        let mut fresh = Client::connect(server.local_addr()).unwrap();
+        let resp = fresh.get("/unstarved").unwrap();
+        assert_eq!(resp.status.code(), 200);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "fresh client starved for {:?}",
+            start.elapsed()
+        );
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter("http.overflow_workers_spawned"), 0);
+        assert_eq!(snap.gauge("http.workers_total"), 2);
+        assert!(
+            snap.gauge("http.conns_parked") >= 8,
+            "parked gauge {} should count the pinned connections",
+            snap.gauge("http.conns_parked")
+        );
+        drop(pinned);
+        server.shutdown();
+    }
+
+    #[test]
     fn slow_body_upload_outlives_keepalive_timeout() {
         // Regression: one read timeout covered both the idle wait and
         // mid-request body reads, so a client pausing longer than
-        // `keep_alive_timeout` inside a PUT was dropped as if idle.
+        // `keep_alive_timeout` inside a PUT was dropped as if idle. The
+        // reactor reproduces this with its idle→body timer switch.
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                keep_alive_timeout: Duration::from_millis(300),
+                body_read_timeout: Duration::from_secs(30),
+                ..ServerConfig::default()
+            });
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            raw.write_all(b"PUT /slow HTTP/1.1\r\nContent-Length: 10\r\n\r\nhello")
+                .unwrap();
+            // Stall mid-body for 3x the keep-alive timeout.
+            std::thread::sleep(Duration::from_millis(900));
+            raw.write_all(b"world").unwrap();
+            let (head, body) = read_raw_response(&mut raw);
+            assert!(head.starts_with("HTTP/1.1 200"), "{mode:?}: {head}");
+            assert_eq!(body, b"helloworld");
+            server.shutdown();
+        });
+    }
+
+    #[test]
+    fn reactor_stalled_body_dropped_as_slow_not_idle() {
+        // The converse: a client that stalls past `body_read_timeout`
+        // mid-upload is dropped, and the reactor attributes the close to
+        // the slow-body deadline, not the idle one.
         let server = echo_server(ServerConfig {
-            keep_alive_timeout: Duration::from_millis(300),
-            body_read_timeout: Duration::from_secs(30),
+            mode: ServerMode::Reactor,
+            keep_alive_timeout: Duration::from_secs(30), // idle timer would never fire
+            body_read_timeout: Duration::from_millis(300),
             ..ServerConfig::default()
         });
         let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        raw.write_all(b"PUT /slow HTTP/1.1\r\nContent-Length: 10\r\n\r\nhello")
+        raw.write_all(b"PUT /stall HTTP/1.1\r\nContent-Length: 10\r\n\r\nhel")
             .unwrap();
-        // Stall mid-body for 3x the keep-alive timeout.
-        std::thread::sleep(Duration::from_millis(900));
-        raw.write_all(b"world").unwrap();
-        let (head, body) = read_raw_response(&mut raw);
-        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
-        assert_eq!(body, b"helloworld");
+        let start = Instant::now();
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).unwrap(); // server drops the connection
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stalled upload held open {:?}",
+            start.elapsed()
+        );
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter("http.conns_closed_slow"), 1);
+        assert_eq!(snap.counter("http.conns_closed_idle"), 0);
         server.shutdown();
     }
 
     #[test]
     fn idle_connection_still_times_out_between_requests() {
         // The body deadline must not extend the between-requests wait.
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                keep_alive_timeout: Duration::from_millis(200),
+                body_read_timeout: Duration::from_secs(30),
+                ..ServerConfig::default()
+            });
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            raw.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+            let _ = read_raw_response(&mut raw);
+            let start = Instant::now();
+            let mut rest = Vec::new();
+            raw.read_to_end(&mut rest).unwrap(); // waits for the server's FIN
+            assert!(rest.is_empty());
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "idle connection survived {:?}",
+                start.elapsed()
+            );
+            server.shutdown();
+        });
+    }
+
+    #[test]
+    fn reactor_shutdown_closes_parked_connections_promptly() {
+        // Satellite of the PR 1 shutdown-join deflake: shutdown must
+        // join the reactor thread and close parked keep-alive fds now,
+        // not after `keep_alive_timeout`.
         let server = echo_server(ServerConfig {
-            keep_alive_timeout: Duration::from_millis(200),
-            body_read_timeout: Duration::from_secs(30),
+            mode: ServerMode::Reactor,
+            keep_alive_timeout: Duration::from_secs(600),
             ..ServerConfig::default()
         });
-        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
-        raw.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
-        let _ = read_raw_response(&mut raw);
+        let mut parked = Vec::new();
+        for _ in 0..4 {
+            let mut s = TcpStream::connect(server.local_addr()).unwrap();
+            s.write_all(b"GET /park HTTP/1.1\r\n\r\n").unwrap();
+            let (head, _) = read_raw_response(&mut s);
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            parked.push(s);
+        }
         let start = Instant::now();
-        let mut rest = Vec::new();
-        raw.read_to_end(&mut rest).unwrap(); // waits for the server's FIN
-        assert!(rest.is_empty());
+        server.shutdown();
         assert!(
             start.elapsed() < Duration::from_secs(5),
-            "idle connection survived {:?}",
+            "shutdown took {:?} with parked connections",
             start.elapsed()
         );
-        server.shutdown();
+        // Every parked client sees the close immediately.
+        for mut s in parked {
+            let mut rest = Vec::new();
+            let _ = s.read_to_end(&mut rest); // EOF or reset, never a hang
+        }
     }
 
     #[test]
     fn metrics_endpoint_reflects_request_mix_pre_auth() {
-        let mut store = UserStore::new("Ecce");
-        store.add_user("karen", "pw");
-        let server = echo_server(ServerConfig {
-            auth: Some(store),
-            ..ServerConfig::default()
+        both_modes(|mode| {
+            let mut store = UserStore::new("Ecce");
+            store.add_user("karen", "pw");
+            let server = echo_server(ServerConfig {
+                mode,
+                auth: Some(store),
+                ..ServerConfig::default()
+            });
+            let mut authed = Client::connect(server.local_addr()).unwrap();
+            authed.set_credentials(Credentials::new("karen", "pw"));
+            assert_eq!(authed.get("/a").unwrap().status.code(), 200);
+            assert_eq!(authed.get("/b").unwrap().status.code(), 200);
+            assert_eq!(authed.put("/c", "body").unwrap().status.code(), 200);
+            // An unauthenticated request is refused but still counted.
+            let mut anon = Client::connect(server.local_addr()).unwrap();
+            assert_eq!(anon.get("/denied").unwrap().status.code(), 401);
+            // The metrics endpoint itself needs no credentials: it
+            // answers before the auth gate.
+            let resp = anon.get(METRICS_PATH).unwrap();
+            assert_eq!(resp.status.code(), 200);
+            assert_eq!(
+                resp.headers.get("content-type"),
+                Some("text/plain; charset=utf-8")
+            );
+            let text = resp.body_text();
+            use pse_obs::parse_text_metric as metric;
+            assert_eq!(metric(&text, "http.requests.get"), Some(3), "{text}");
+            assert_eq!(metric(&text, "http.requests.put"), Some(1), "{text}");
+            assert_eq!(metric(&text, "http.requests.metrics"), Some(1), "{text}");
+            assert_eq!(metric(&text, "http.auth_failures"), Some(1), "{text}");
+            assert_eq!(metric(&text, "http.responses.2xx"), Some(3), "{text}");
+            assert_eq!(metric(&text, "http.responses.4xx"), Some(1), "{text}");
+            // Histogram records one sample per completed exchange.
+            assert_eq!(metric(&text, "http.request_latency_us"), Some(4), "{text}");
+            assert!(metric(&text, "http.bytes_in").unwrap() > 0, "{text}");
+            assert!(metric(&text, "http.bytes_out").unwrap() > 0, "{text}");
+            // Pool gauges are exported through the registry source; both
+            // cores report the paper's 5 resident daemons.
+            assert_eq!(metric(&text, "http.workers_total"), Some(5), "{text}");
+            assert!(metric(&text, "http.active_connections").unwrap() >= 1, "{text}");
+            // The trace ring retained the scripted mix.
+            let traces = server.registry().recent_traces();
+            assert!(traces.iter().any(|t| t.what == "GET /a" && t.status == 200));
+            assert!(traces.iter().any(|t| t.what == "GET /denied" && t.status == 401));
+            server.shutdown();
         });
-        let mut authed = Client::connect(server.local_addr()).unwrap();
-        authed.set_credentials(Credentials::new("karen", "pw"));
-        assert_eq!(authed.get("/a").unwrap().status.code(), 200);
-        assert_eq!(authed.get("/b").unwrap().status.code(), 200);
-        assert_eq!(authed.put("/c", "body").unwrap().status.code(), 200);
-        // An unauthenticated request is refused but still counted.
-        let mut anon = Client::connect(server.local_addr()).unwrap();
-        assert_eq!(anon.get("/denied").unwrap().status.code(), 401);
-        // The metrics endpoint itself needs no credentials: it answers
-        // before the auth gate.
-        let resp = anon.get(METRICS_PATH).unwrap();
-        assert_eq!(resp.status.code(), 200);
-        assert_eq!(
-            resp.headers.get("content-type"),
-            Some("text/plain; charset=utf-8")
-        );
-        let text = resp.body_text();
-        use pse_obs::parse_text_metric as metric;
-        assert_eq!(metric(&text, "http.requests.get"), Some(3), "{text}");
-        assert_eq!(metric(&text, "http.requests.put"), Some(1), "{text}");
-        assert_eq!(metric(&text, "http.requests.metrics"), Some(1), "{text}");
-        assert_eq!(metric(&text, "http.auth_failures"), Some(1), "{text}");
-        assert_eq!(metric(&text, "http.responses.2xx"), Some(3), "{text}");
-        assert_eq!(metric(&text, "http.responses.4xx"), Some(1), "{text}");
-        // Histogram records one sample per completed exchange.
-        assert_eq!(metric(&text, "http.request_latency_us"), Some(4), "{text}");
-        assert!(metric(&text, "http.bytes_in").unwrap() > 0, "{text}");
-        assert!(metric(&text, "http.bytes_out").unwrap() > 0, "{text}");
-        // Pool gauges are exported through the registry source.
-        assert_eq!(metric(&text, "http.workers_total"), Some(5), "{text}");
-        assert!(metric(&text, "http.active_connections").unwrap() >= 1, "{text}");
-        // The trace ring retained the scripted mix.
-        let traces = server.registry().recent_traces();
-        assert!(traces.iter().any(|t| t.what == "GET /a" && t.status == 200));
-        assert!(traces.iter().any(|t| t.what == "GET /denied" && t.status == 401));
-        server.shutdown();
     }
 
     #[test]
@@ -836,18 +1213,47 @@ mod tests {
 
     #[test]
     fn disabled_registry_serves_but_records_nothing() {
-        let server = echo_server(ServerConfig {
-            obs: Some(Registry::disabled()),
-            ..ServerConfig::default()
+        both_modes(|mode| {
+            let server = echo_server(ServerConfig {
+                mode,
+                obs: Some(Registry::disabled()),
+                ..ServerConfig::default()
+            });
+            let mut c = Client::connect(server.local_addr()).unwrap();
+            assert_eq!(c.get("/x").unwrap().status.code(), 200);
+            let resp = c.get(METRICS_PATH).unwrap();
+            assert_eq!(resp.status.code(), 200);
+            assert_eq!(
+                pse_obs::parse_text_metric(&resp.body_text(), "http.requests.get"),
+                None
+            );
+            server.shutdown();
         });
+    }
+
+    #[test]
+    fn reactor_survives_handler_panic() {
+        // A panicking handler must not shrink the fixed pool; the
+        // request gets a 500 and the server keeps serving.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                mode: ServerMode::Reactor,
+                min_daemons: 1, // one worker: a lost thread would hang the server
+                ..ServerConfig::default()
+            },
+            |req: Request| {
+                if req.target.path() == "/boom" {
+                    panic!("handler exploded");
+                }
+                Response::ok()
+            },
+        )
+        .unwrap();
         let mut c = Client::connect(server.local_addr()).unwrap();
-        assert_eq!(c.get("/x").unwrap().status.code(), 200);
-        let resp = c.get(METRICS_PATH).unwrap();
-        assert_eq!(resp.status.code(), 200);
-        assert_eq!(
-            pse_obs::parse_text_metric(&resp.body_text(), "http.requests.get"),
-            None
-        );
+        assert_eq!(c.get("/boom").unwrap().status.code(), 500);
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c2.get("/fine").unwrap().status.code(), 200);
         server.shutdown();
     }
 }

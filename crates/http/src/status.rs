@@ -43,6 +43,8 @@ impl StatusCode {
     pub const LOCKED: StatusCode = StatusCode(423);
     /// 424 Failed Dependency (RFC 2518)
     pub const FAILED_DEPENDENCY: StatusCode = StatusCode(424);
+    /// 431 Request Header Fields Too Large (RFC 6585)
+    pub const HEADER_FIELDS_TOO_LARGE: StatusCode = StatusCode(431);
     /// 500 Internal Server Error
     pub const INTERNAL_ERROR: StatusCode = StatusCode(500);
     /// 501 Not Implemented
@@ -98,6 +100,7 @@ impl StatusCode {
             422 => "Unprocessable Entity",
             423 => "Locked",
             424 => "Failed Dependency",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             501 => "Not Implemented",
             502 => "Bad Gateway",

@@ -97,14 +97,39 @@ fn read_headers(r: &mut impl BufRead, limits: &Limits) -> Result<Headers> {
                 limit: limits.max_headers,
             });
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| Error::Parse(format!("malformed header line `{line}`")))?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(Error::Parse(format!("malformed header name `{name}`")));
-        }
-        headers.append(name, value.trim());
+        let (name, value) = parse_header_field(&line)?;
+        headers.append(name, value);
     }
+}
+
+/// Parse one `Name: value` header field. Shared by the blocking reader
+/// and the reactor's incremental parser so both enforce identical
+/// field-name rules.
+pub(crate) fn parse_header_field(line: &str) -> Result<(&str, &str)> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| Error::Parse(format!("malformed header line `{line}`")))?;
+    if name.is_empty() || name.contains(' ') {
+        return Err(Error::Parse(format!("malformed header name `{name}`")));
+    }
+    Ok((name, value.trim()))
+}
+
+/// Parse a `METHOD target HTTP/1.x` request line. Shared by the
+/// blocking reader and the reactor's incremental parser.
+pub(crate) fn parse_request_line(line: &str) -> Result<(Method, Target, Version)> {
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(Error::Parse(format!("malformed request line `{line}`"))),
+    };
+    let version = match version {
+        "HTTP/1.1" => Version::V1_1,
+        "HTTP/1.0" => Version::V1_0,
+        v => return Err(Error::UnsupportedVersion(v.to_owned())),
+    };
+    let method: Method = method.parse().expect("infallible");
+    Ok((method, Target::parse(target), version))
 }
 
 /// Parse `Content-Length` strictly. A value that does not parse as a
@@ -216,23 +241,13 @@ pub fn read_request_with(
         Err(Error::ConnectionClosed) => return Ok(None),
         Err(e) => return Err(e),
     };
-    let mut parts = line.split_whitespace();
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) => (m, t, v),
-        _ => return Err(Error::Parse(format!("malformed request line `{line}`"))),
-    };
-    let version = match version {
-        "HTTP/1.1" => Version::V1_1,
-        "HTTP/1.0" => Version::V1_0,
-        v => return Err(Error::UnsupportedVersion(v.to_owned())),
-    };
-    let method: Method = method.parse().expect("infallible");
+    let (method, target, version) = parse_request_line(&line)?;
     after_request_line();
     let headers = read_headers(r, limits)?;
     let body = read_body(r, &headers, limits)?;
     Ok(Some(Request {
         method,
-        target: Target::parse(target),
+        target,
         version,
         headers,
         body,

@@ -12,17 +12,28 @@
 # 4. Lint: clippy with warnings denied on the dependency-free crates
 #    where we hold the bar at zero (pse-cache and pse-obs today).
 #    Skipped with a notice if the clippy component is not installed.
-# 5. With --stress: the concurrency stress suite across a 3-seed
-#    matrix at elevated thread count, plus the MemRepository
+# 5. Adversarial wire tests: the incremental-parser matrix (trickled
+#    bytes, split heads, pipelining, oversized headers, half-close)
+#    runs against BOTH server cores inside the workspace suite; the
+#    dedicated run makes a parser failure unmissable.
+# 6. With --stress: the concurrency stress suite across a 3-seed
+#    matrix at elevated thread count, run under BOTH server cores
+#    (PSE_HTTP_MODE=reactor and =threaded), plus the MemRepository
 #    linearizability checker. PSE_STRESS_OPS / PSE_STRESS_THREADS are
 #    honoured when set in the environment.
+# 7. With --c10k: the C10k gate — 1000 parked keep-alive connections
+#    (override with PSE_C10K_CONNS) against a worker pool of 8 must
+#    leave fresh clients fast, the staleness detector clean, and
+#    shutdown prompt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STRESS=0
+C10K=0
 for arg in "$@"; do
     case "$arg" in
         --stress) STRESS=1 ;;
+        --c10k) C10K=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -57,17 +68,29 @@ else
     echo "==> lint: clippy not installed, skipping"
 fi
 
+echo "==> adversarial wire tests (both server cores): cargo test -q -p pse-http --test adversarial"
+cargo test -q -p pse-http --test adversarial
+
 if [ "$STRESS" = 1 ]; then
     : "${PSE_STRESS_OPS:=250}"
     : "${PSE_STRESS_THREADS:=6}"
     export PSE_STRESS_OPS PSE_STRESS_THREADS
-    echo "==> stress: concurrency suite, 3-seed matrix (threads=$PSE_STRESS_THREADS, ops=$PSE_STRESS_OPS)"
-    for seed in 1 42 20010807; do
-        echo "==> stress: seed $seed"
-        PSE_STRESS_SEED=$seed cargo test -q --test concurrency
+    echo "==> stress: concurrency suite, 3-seed x 2-core matrix (threads=$PSE_STRESS_THREADS, ops=$PSE_STRESS_OPS)"
+    for mode in reactor threaded; do
+        for seed in 1 42 20010807; do
+            echo "==> stress: core $mode, seed $seed"
+            PSE_HTTP_MODE=$mode PSE_STRESS_SEED=$seed cargo test -q --test concurrency
+        done
     done
     echo "==> stress: MemRepository linearizability"
     cargo test -q -p pse-dav --test linearizability
+fi
+
+if [ "$C10K" = 1 ]; then
+    : "${PSE_C10K_CONNS:=1000}"
+    export PSE_C10K_CONNS
+    echo "==> c10k gate: $PSE_C10K_CONNS parked connections, pool of 8"
+    cargo test -q --test c10k
 fi
 
 echo "==> ci OK"
