@@ -1,0 +1,333 @@
+//! [`LoggedRepository`] — the change-log seam at the repository
+//! mutation points.
+//!
+//! Wraps any [`Repository`] (the same wrapper pattern as pse-dav's
+//! `TranslatingRepository`) and appends a [`ChangeRecord`] to the
+//! [`ChangeLog`] after every successful mutation. Reads delegate
+//! untouched.
+//!
+//! ## Why the wrapper holds its own path locks
+//!
+//! The inner repository serialises conflicting mutations with its own
+//! PR 5 lock plans, but those guards are released before control
+//! returns here — two racing PUTs to one path could append to the log
+//! in the *opposite* order to the one the repository applied them in,
+//! and a replica replaying the log would converge to the loser. So the
+//! wrapper takes its own hierarchy-aware [`PathLocks`] plan (the same
+//! plan shapes the inner repository uses) *around* inner-op + append:
+//! for any two conflicting mutations, log order now equals application
+//! order, which makes the log a valid linearisation of the history —
+//! the property the replay proptests check. Non-conflicting mutations
+//! still proceed in parallel; readers never touch the outer table.
+
+use crate::log::ChangeLog;
+use crate::record::{ChangeRecord, PropOp};
+use pse_dav::error::{DavError, Result};
+use pse_dav::pathlock::PathLocks;
+use pse_dav::property::{Property, PropertyName};
+use pse_dav::repo::{PropPatchOp, Repository, ResourceMeta};
+use std::io;
+use std::sync::Arc;
+
+/// A repository wrapper that records every mutation into a [`ChangeLog`].
+pub struct LoggedRepository<R: Repository> {
+    inner: Arc<R>,
+    log: Arc<ChangeLog>,
+    order: Arc<PathLocks>,
+}
+
+fn log_err(e: io::Error) -> DavError {
+    DavError::Io(Arc::new(io::Error::new(
+        e.kind(),
+        format!("change log append failed: {e}"),
+    )))
+}
+
+impl<R: Repository> LoggedRepository<R> {
+    /// Wrap `inner`, appending every mutation to `log`.
+    pub fn new(inner: R, log: Arc<ChangeLog>) -> LoggedRepository<R> {
+        LoggedRepository {
+            inner: Arc::new(inner),
+            log,
+            order: Arc::new(PathLocks::new(pse_dav::pathlock::DEFAULT_SHARDS, false)),
+        }
+    }
+
+    /// The wrapped repository.
+    pub fn inner(&self) -> &Arc<R> {
+        &self.inner
+    }
+
+    /// The change log mutations are recorded into.
+    pub fn log(&self) -> &Arc<ChangeLog> {
+        &self.log
+    }
+
+    fn is_collection(&self, path: &str) -> bool {
+        self.inner
+            .meta(path)
+            .map(|m| m.is_collection)
+            .unwrap_or(false)
+    }
+
+    fn append(&self, record: ChangeRecord) -> Result<()> {
+        self.log.append(record).map_err(log_err)?;
+        Ok(())
+    }
+}
+
+impl<R: Repository> Repository for LoggedRepository<R> {
+    fn register_obs(&self, registry: &std::sync::Arc<pse_obs::Registry>) {
+        self.inner.register_obs(registry);
+        self.order.register_obs(registry, "cluster.logorder");
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn meta(&self, path: &str) -> Result<ResourceMeta> {
+        self.inner.meta(path)
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        self.inner.get(path)
+    }
+
+    fn put(&self, path: &str, data: &[u8], content_type: Option<&str>) -> Result<bool> {
+        let _g = self.order.write_with_parent(path);
+        let created = self.inner.put(path, data, content_type)?;
+        self.append(ChangeRecord::Put {
+            path: path.to_owned(),
+            content_type: content_type.map(str::to_owned),
+            data: data.to_vec(),
+        })?;
+        Ok(created)
+    }
+
+    fn mkcol(&self, path: &str) -> Result<()> {
+        let _g = self.order.write_with_parent(path);
+        self.inner.mkcol(path)?;
+        self.append(ChangeRecord::Mkcol {
+            path: path.to_owned(),
+        })
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        // Collection deletes take the whole-table intent (they touch
+        // every descendant); re-check the classification after locking,
+        // same loop the inner repository runs.
+        loop {
+            let col = self.is_collection(path);
+            let _g = if col {
+                self.order.subtree()
+            } else {
+                self.order.write_with_parent(path)
+            };
+            if self.is_collection(path) != col {
+                continue;
+            }
+            self.inner.delete(path)?;
+            return self.append(ChangeRecord::Delete {
+                path: path.to_owned(),
+            });
+        }
+    }
+
+    fn copy(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
+        loop {
+            let col = self.is_collection(src) || self.is_collection(dst);
+            let _g = if col {
+                self.order.subtree()
+            } else {
+                self.order.copy_doc(src, dst)
+            };
+            if (self.is_collection(src) || self.is_collection(dst)) != col {
+                continue;
+            }
+            let created = self.inner.copy(src, dst, overwrite)?;
+            self.append(ChangeRecord::Copy {
+                src: src.to_owned(),
+                dst: dst.to_owned(),
+                overwrite,
+            })?;
+            return Ok(created);
+        }
+    }
+
+    fn rename(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
+        loop {
+            let col = self.is_collection(src) || self.is_collection(dst);
+            let _g = if col {
+                self.order.subtree()
+            } else {
+                self.order.rename_pair(src, dst)
+            };
+            if (self.is_collection(src) || self.is_collection(dst)) != col {
+                continue;
+            }
+            let created = self.inner.rename(src, dst, overwrite)?;
+            self.append(ChangeRecord::Rename {
+                src: src.to_owned(),
+                dst: dst.to_owned(),
+                overwrite,
+            })?;
+            return Ok(created);
+        }
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<String>> {
+        self.inner.list(path)
+    }
+
+    fn get_prop(&self, path: &str, name: &PropertyName) -> Result<Option<Property>> {
+        self.inner.get_prop(path, name)
+    }
+
+    fn list_props(&self, path: &str) -> Result<Vec<PropertyName>> {
+        self.inner.list_props(path)
+    }
+
+    fn set_prop(&self, path: &str, prop: &Property) -> Result<()> {
+        let _g = self.order.write(path);
+        self.inner.set_prop(path, prop)?;
+        self.append(ChangeRecord::PatchProps {
+            path: path.to_owned(),
+            ops: vec![PropOp::Set {
+                name: prop.name.clone(),
+                storage: prop.to_storage(),
+            }],
+        })
+    }
+
+    fn remove_prop(&self, path: &str, name: &PropertyName) -> Result<bool> {
+        let _g = self.order.write(path);
+        let removed = self.inner.remove_prop(path, name)?;
+        if removed {
+            self.append(ChangeRecord::PatchProps {
+                path: path.to_owned(),
+                ops: vec![PropOp::Remove { name: name.clone() }],
+            })?;
+        }
+        Ok(removed)
+    }
+
+    fn disk_usage(&self) -> Result<u64> {
+        self.inner.disk_usage()
+    }
+
+    fn get_props(&self, path: &str, names: &[PropertyName]) -> Result<Vec<Option<Property>>> {
+        self.inner.get_props(path, names)
+    }
+
+    fn patch_props(
+        &self,
+        path: &str,
+        ops: &[PropPatchOp],
+    ) -> std::result::Result<(), (usize, DavError)> {
+        let _g = self.order.write(path);
+        self.inner.patch_props(path, ops)?;
+        let recorded: Vec<PropOp> = ops
+            .iter()
+            .map(|op| match op {
+                PropPatchOp::Set(p) => PropOp::Set {
+                    name: p.name.clone(),
+                    storage: p.to_storage(),
+                },
+                PropPatchOp::Remove(n) => PropOp::Remove { name: n.clone() },
+            })
+            .collect();
+        self.append(ChangeRecord::PatchProps {
+            path: path.to_owned(),
+            ops: recorded,
+        })
+        .map_err(|e| (0, e))
+    }
+
+    fn all_props(&self, path: &str) -> Result<Vec<Property>> {
+        self.inner.all_props(path)
+    }
+
+    fn walk(&self, path: &str, max_depth: Option<u32>, visit: &mut dyn FnMut(&str)) -> Result<()> {
+        self.inner.walk(path, max_depth, visit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pse_dav::memrepo::MemRepository;
+
+    fn rig(tag: &str) -> (LoggedRepository<MemRepository>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "pse-cluster-logged-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let log = ChangeLog::open(&dir).unwrap();
+        (LoggedRepository::new(MemRepository::new(), log), dir)
+    }
+
+    #[test]
+    fn every_mutation_is_recorded_in_order() {
+        let (repo, dir) = rig("order");
+        repo.mkcol("/c").unwrap();
+        repo.put("/c/doc", b"v1", Some("text/plain")).unwrap();
+        repo.set_prop("/c/doc", &Property::text(PropertyName::new("urn:x", "p"), "v"))
+            .unwrap();
+        repo.copy("/c/doc", "/c/copy", false).unwrap();
+        repo.rename("/c/copy", "/c/moved", false).unwrap();
+        repo.remove_prop("/c/doc", &PropertyName::new("urn:x", "p"))
+            .unwrap();
+        repo.delete("/c/moved").unwrap();
+
+        let entries = repo.log().read_after(0, 100).unwrap();
+        let kinds: Vec<&str> = entries.iter().map(|e| e.record.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "mkcol",
+                "put",
+                "patch_props",
+                "copy",
+                "rename",
+                "patch_props",
+                "delete"
+            ]
+        );
+        assert_eq!(
+            entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (1..=7).collect::<Vec<u64>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_mutations_are_not_recorded() {
+        let (repo, dir) = rig("fail");
+        assert!(repo.put("/missing-parent/doc", b"x", None).is_err());
+        assert!(repo.delete("/nope").is_err());
+        assert!(repo.mkcol("/a/b").is_err());
+        assert_eq!(repo.log().last_seq(), 0);
+        // remove of an absent property is Ok(false) — and not logged.
+        repo.put("/d", b"x", None).unwrap();
+        assert!(!repo
+            .remove_prop("/d", &PropertyName::new("urn:x", "gone"))
+            .unwrap());
+        assert_eq!(repo.log().last_seq(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reads_do_not_touch_the_log() {
+        let (repo, dir) = rig("reads");
+        repo.put("/doc", b"x", None).unwrap();
+        let before = repo.log().last_seq();
+        let _ = repo.get("/doc").unwrap();
+        let _ = repo.meta("/doc").unwrap();
+        let _ = repo.list("/").unwrap();
+        let _ = repo.all_props("/doc").unwrap();
+        assert_eq!(repo.log().last_seq(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

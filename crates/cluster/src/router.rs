@@ -1,0 +1,452 @@
+//! The consistent-hash front-end router.
+//!
+//! One address for the whole cluster: the router hashes each request's
+//! [shard key](crate::ring::shard_key) onto a [`HashRing`] of backend
+//! shards, sends writes to the shard's primary, and balances reads
+//! across the shard's read rotation (primary + caught-up replicas).
+//!
+//! ## Read-your-writes
+//!
+//! Every successful write response from a primary carries
+//! `X-Change-Seq`; the router folds it into the shard's *write floor*
+//! (`fetch_max`, so concurrent writes keep the highest). A replica read
+//! whose `X-Applied-Seq` is below the floor is discarded and retried on
+//! the primary — a client that just wrote through this router never
+//! reads an older state. Reads that land on replicas above the floor
+//! are bounded-staleness by construction: the lag gauges on each
+//! replica bound the window.
+//!
+//! ## Failover
+//!
+//! A backend that fails transport-level `max_failures` times in a row
+//! is ejected from the read rotation for `retry_after`; after that one
+//! probe request is allowed through (half-open) and a success re-admits
+//! it. Reads always fall back to the primary; a dead primary surfaces
+//! as `502 Bad Gateway` (there is no write failover without consensus,
+//! which is out of scope — the paper's deployments ran one writable
+//! server per site).
+
+use crate::node::{APPLIED_SEQ_HEADER, CHANGE_SEQ_HEADER};
+use crate::node::is_read_method;
+use crate::ring::{shard_key, HashRing};
+use parking_lot::Mutex;
+use pse_http::server::{Server, ServerConfig};
+use pse_http::uri::Target;
+use pse_http::{Client, Method, Request, Response, RetryPolicy, StatusCode};
+use pse_obs::{Counter, Registry};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One shard: a primary and its replicas.
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    /// The shard's writable node.
+    pub primary: SocketAddr,
+    /// Read-only followers of that primary.
+    pub replicas: Vec<SocketAddr>,
+}
+
+/// Router tuning.
+#[derive(Clone)]
+pub struct RouterConfig {
+    /// HTTP server configuration for the router's own listener.
+    pub server: ServerConfig,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Answer writes with `307` to the shard primary instead of
+    /// proxying them (clients must then follow redirects).
+    pub redirect_writes: bool,
+    /// Consecutive transport failures before a backend is ejected from
+    /// the read rotation.
+    pub max_failures: u32,
+    /// How long an ejected backend sits out before a half-open probe.
+    pub retry_after: Duration,
+    /// Per-attempt socket timeout towards backends (a stalled backend
+    /// becomes a fast failover, not a hung client).
+    pub backend_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            server: ServerConfig {
+                max_requests_per_connection: 1_000_000,
+                ..ServerConfig::default()
+            },
+            vnodes: 64,
+            redirect_writes: false,
+            max_failures: 2,
+            retry_after: Duration::from_millis(500),
+            backend_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One upstream node: a connection pool plus failure accounting.
+struct Backend {
+    addr: SocketAddr,
+    pool: Mutex<Vec<Client>>,
+    failures: AtomicU32,
+    ejected_until: Mutex<Option<Instant>>,
+    retry: RetryPolicy,
+}
+
+impl Backend {
+    fn new(addr: SocketAddr, cfg: &RouterConfig) -> Backend {
+        Backend {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            failures: AtomicU32::new(0),
+            ejected_until: Mutex::new(None),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(20),
+                deadline: Some(cfg.backend_timeout * 2),
+                read_timeout: Some(cfg.backend_timeout),
+                write_timeout: Some(cfg.backend_timeout),
+                ..RetryPolicy::default()
+            },
+        }
+    }
+
+    /// In the rotation? Ejected backends return `false` until
+    /// `retry_after` has passed; then one half-open probe is allowed.
+    fn usable(&self, max_failures: u32) -> bool {
+        if self.failures.load(Ordering::Relaxed) < max_failures {
+            return true;
+        }
+        let mut until = self.ejected_until.lock();
+        match *until {
+            Some(t) if Instant::now() < t => false,
+            _ => {
+                // Half-open: let this caller probe, push the next probe
+                // out so a thundering herd doesn't pile onto a corpse.
+                *until = Some(Instant::now() + Duration::from_millis(100));
+                true
+            }
+        }
+    }
+
+    /// Send `req` over a pooled connection (opened on demand). The
+    /// connection returns to the pool only on success.
+    fn call(&self, req: Request) -> pse_http::Result<Response> {
+        let mut client = match self.pool.lock().pop() {
+            Some(c) => c,
+            None => {
+                let mut c = Client::connect(self.addr)?;
+                c.set_retry_policy(self.retry.clone());
+                c
+            }
+        };
+        match client.send(req) {
+            Ok(resp) => {
+                self.pool.lock().push(client);
+                Ok(resp)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn record_success(&self) {
+        self.failures.store(0, Ordering::Relaxed);
+        *self.ejected_until.lock() = None;
+    }
+
+    fn record_failure(&self, max_failures: u32, retry_after: Duration) {
+        let n = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= max_failures {
+            *self.ejected_until.lock() = Some(Instant::now() + retry_after);
+        }
+    }
+}
+
+/// Per-shard routing state.
+struct Shard {
+    primary: Backend,
+    replicas: Vec<Backend>,
+    rr: AtomicUsize,
+    /// Highest `X-Change-Seq` seen on a write through this router —
+    /// the read-your-writes floor for replica reads.
+    write_floor: AtomicU64,
+}
+
+/// Counters the routing hot path records into.
+struct RouterObs {
+    writes: Counter,
+    redirects: Counter,
+    reads_primary: Counter,
+    reads_replica: Counter,
+    stale_retries: Counter,
+    failovers: Counter,
+    errors: Counter,
+}
+
+impl RouterObs {
+    fn resolve(r: &Arc<Registry>) -> RouterObs {
+        RouterObs {
+            writes: r.counter("cluster.router.writes"),
+            redirects: r.counter("cluster.router.redirects"),
+            reads_primary: r.counter("cluster.router.reads_primary"),
+            reads_replica: r.counter("cluster.router.reads_replica"),
+            stale_retries: r.counter("cluster.router.stale_retries"),
+            failovers: r.counter("cluster.router.failovers"),
+            errors: r.counter("cluster.router.errors"),
+        }
+    }
+}
+
+/// The running front end.
+pub struct Router {
+    server: Server,
+    registry: Arc<Registry>,
+    ring: HashRing,
+}
+
+impl Router {
+    /// Start a router on `addr` over `backends` (one [`BackendSpec`]
+    /// per shard; the ring is built over their indices).
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        backends: &[BackendSpec],
+        cfg: RouterConfig,
+    ) -> pse_http::Result<Router> {
+        assert!(!backends.is_empty(), "a router needs at least one shard");
+        let ring = HashRing::new(backends.len(), cfg.vnodes);
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            backends
+                .iter()
+                .map(|spec| Shard {
+                    primary: Backend::new(spec.primary, &cfg),
+                    replicas: spec.replicas.iter().map(|&a| Backend::new(a, &cfg)).collect(),
+                    rr: AtomicUsize::new(0),
+                    write_floor: AtomicU64::new(0),
+                })
+                .collect(),
+        );
+        let registry = Registry::new();
+        let obs = RouterObs::resolve(&registry);
+        {
+            let shards = Arc::clone(&shards);
+            let max_failures = cfg.max_failures;
+            registry.register_source("cluster.router", move |snap| {
+                let usable: usize = shards
+                    .iter()
+                    .map(|s| s.replicas.iter().filter(|b| b.usable(max_failures)).count())
+                    .sum();
+                snap.set_gauge("cluster.router.replicas_usable", usable as i64);
+                snap.set_gauge(
+                    "cluster.router.write_floor",
+                    shards.iter().map(|s| s.write_floor.load(Ordering::Relaxed)).max().unwrap_or(0)
+                        as i64,
+                );
+            });
+        }
+
+        let mut server_cfg = cfg.server.clone();
+        server_cfg.obs = Some(Arc::clone(&registry));
+        let route_ring = ring.clone();
+        let server = Server::bind(addr, server_cfg, move |req: Request| {
+            route(&req, &route_ring, &shards, &cfg, &obs)
+        })?;
+        Ok(Router {
+            server,
+            registry,
+            ring,
+        })
+    }
+
+    /// Listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The router's metric registry.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Which shard index a path routes to (for tests).
+    pub fn shard_for(&self, path: &str) -> usize {
+        self.ring.backend_for(shard_key(path))
+    }
+
+    /// Stop serving.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+/// Hop-by-hop hygiene: connection management is per-hop, and the
+/// backend client sets its own `Host`.
+fn scrub_request(req: &mut Request) {
+    req.headers.remove("Connection");
+    req.headers.remove("Keep-Alive");
+    req.headers.remove("Host");
+}
+
+fn scrub_response(mut resp: Response) -> Response {
+    resp.headers.remove("Connection");
+    resp.headers.remove("Keep-Alive");
+    resp
+}
+
+fn bad_gateway(what: &str) -> Response {
+    Response::new(StatusCode::new(502)).with_body(format!("upstream failed: {what}").into_bytes())
+}
+
+/// Route one request to its shard.
+fn route(
+    req: &Request,
+    ring: &HashRing,
+    shards: &[Shard],
+    cfg: &RouterConfig,
+    obs: &RouterObs,
+) -> Response {
+    let home = ring.backend_for(shard_key(req.target.path()));
+    let shard = &shards[home];
+    let mut req = req.clone();
+    scrub_request(&mut req);
+
+    // COPY/MOVE whose destination hashes to a different shard would be
+    // executed entirely on the source backend and the result would be
+    // unreachable through the ring. RFC 2518 §8.8 reserves 502 for
+    // exactly this: "the destination is on another server".
+    if matches!(req.method, Method::Copy | Method::Move) {
+        if let Some(dst) = req.headers.get("Destination") {
+            let dst_path = Target::parse(dst).path().to_owned();
+            if ring.backend_for(shard_key(&dst_path)) != home {
+                obs.errors.inc();
+                return Response::new(StatusCode::new(502)).with_body(
+                    format!(
+                        "destination {dst_path} lives on a different shard than {}",
+                        req.target.path()
+                    )
+                    .into_bytes(),
+                );
+            }
+        }
+    }
+
+    if !is_read_method(&req.method) {
+        if cfg.redirect_writes {
+            obs.redirects.inc();
+            return Response::new(StatusCode::TEMPORARY_REDIRECT).with_header(
+                "Location",
+                format!("http://{}{}", shard.primary.addr, req.target.path()),
+            );
+        }
+        obs.writes.inc();
+        return match shard.primary.call(req) {
+            Ok(resp) => {
+                shard.primary.record_success();
+                if resp.status.is_success() {
+                    if let Some(seq) = resp
+                        .headers
+                        .get(CHANGE_SEQ_HEADER)
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                    {
+                        shard.write_floor.fetch_max(seq, Ordering::SeqCst);
+                    }
+                }
+                scrub_response(resp)
+            }
+            Err(e) => {
+                obs.errors.inc();
+                shard
+                    .primary
+                    .record_failure(cfg.max_failures, cfg.retry_after);
+                bad_gateway(&e.to_string())
+            }
+        };
+    }
+
+    // Read path: rotate across replicas, verify the read-your-writes
+    // floor, fall back to the primary on staleness or failure.
+    let floor = shard.write_floor.load(Ordering::SeqCst);
+    if !shard.replicas.is_empty() {
+        let start = shard.rr.fetch_add(1, Ordering::Relaxed);
+        for i in 0..shard.replicas.len() {
+            let replica = &shard.replicas[(start + i) % shard.replicas.len()];
+            if !replica.usable(cfg.max_failures) {
+                continue;
+            }
+            match replica.call(req.clone()) {
+                Ok(resp) => {
+                    replica.record_success();
+                    let applied: u64 = resp
+                        .headers
+                        .get(APPLIED_SEQ_HEADER)
+                        .and_then(|v| v.trim().parse().ok())
+                        .unwrap_or(0);
+                    if applied >= floor {
+                        obs.reads_replica.inc();
+                        return scrub_response(resp);
+                    }
+                    // Behind the floor: this replica hasn't applied a
+                    // write this router already acknowledged.
+                    obs.stale_retries.inc();
+                    break;
+                }
+                Err(_) => {
+                    replica.record_failure(cfg.max_failures, cfg.retry_after);
+                    obs.failovers.inc();
+                }
+            }
+        }
+    }
+    match shard.primary.call(req) {
+        Ok(resp) => {
+            shard.primary.record_success();
+            obs.reads_primary.inc();
+            scrub_response(resp)
+        }
+        Err(e) => {
+            obs.errors.inc();
+            shard
+                .primary
+                .record_failure(cfg.max_failures, cfg.retry_after);
+            bad_gateway(&e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_ejection_and_half_open_readmission() {
+        let cfg = RouterConfig {
+            retry_after: Duration::from_millis(30),
+            ..RouterConfig::default()
+        };
+        let b = Backend::new("127.0.0.1:1".parse().unwrap(), &cfg);
+        assert!(b.usable(cfg.max_failures));
+        b.record_failure(cfg.max_failures, cfg.retry_after);
+        assert!(b.usable(cfg.max_failures), "one failure is tolerated");
+        b.record_failure(cfg.max_failures, cfg.retry_after);
+        assert!(!b.usable(cfg.max_failures), "ejected at max_failures");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.usable(cfg.max_failures), "half-open probe after retry_after");
+        b.record_success();
+        assert!(b.usable(cfg.max_failures), "success re-admits");
+        assert_eq!(b.failures.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn scrubbing_strips_hop_by_hop_headers() {
+        let mut req = Request::new(pse_http::Method::Get, "/a")
+            .with_header("Connection", "keep-alive")
+            .with_header("Host", "front")
+            .with_header("X-App", "kept");
+        scrub_request(&mut req);
+        assert!(!req.headers.contains("Connection"));
+        assert!(!req.headers.contains("Host"));
+        assert_eq!(req.headers.get("X-App"), Some("kept"));
+        let resp = scrub_response(Response::ok().with_header("Connection", "close"));
+        assert!(!resp.headers.contains("Connection"));
+    }
+}

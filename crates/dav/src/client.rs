@@ -135,6 +135,15 @@ impl DavClient {
         self.http.set_policy(policy);
     }
 
+    /// Follow up to `max_hops` `307`/`308` redirects transparently,
+    /// replaying method and body (see
+    /// [`pse_http::Client::set_follow_redirects`]). A cluster replica
+    /// answers mutating methods with `307` to its primary; with this
+    /// enabled a DAV client may be pointed at any node.
+    pub fn set_follow_redirects(&mut self, max_hops: u32) {
+        self.http.set_follow_redirects(max_hops);
+    }
+
     /// Install a retry/timeout/backoff policy on the underlying HTTP
     /// client. Idempotent DAV traffic (GET, PUT, DELETE, PROPFIND, …)
     /// is re-sent across transport failures; non-idempotent methods

@@ -35,7 +35,7 @@
 use crate::error::{DavError, Result};
 use crate::pathlock::{PathLockStats, PathLocks};
 use crate::property::{Property, PropertyName};
-use crate::repo::{live_props_from_meta, PropPatchOp, Repository, ResourceMeta};
+use crate::repo::{check_copy_overlap, live_props_from_meta, PropPatchOp, Repository, ResourceMeta};
 use pse_cache::{CacheConfig, CacheStats, ShardedCache};
 use pse_dbm::{dbm_exists, open_dbm, remove_dbm, Dbm, DbmKind, StoreMode};
 use pse_http::uri::{normalize_path, parent_path};
@@ -550,6 +550,7 @@ impl Repository for FsRepository {
 
     fn copy(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
         let (src, dst) = (normalize_path(src), normalize_path(dst));
+        check_copy_overlap(&src, &dst)?;
         loop {
             let subtree =
                 self.fs_path(&src).is_dir() || self.fs_path(&dst).is_dir();
@@ -587,6 +588,7 @@ impl Repository for FsRepository {
 
     fn rename(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
         let (srcn, dstn) = (normalize_path(src), normalize_path(dst));
+        check_copy_overlap(&srcn, &dstn)?;
         loop {
             let subtree =
                 self.fs_path(&srcn).is_dir() || self.fs_path(&dstn).is_dir();

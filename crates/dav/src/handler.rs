@@ -53,12 +53,19 @@ impl<R: Repository> DavHandler<R> {
     /// repository is given the chance to contribute its own stats
     /// (property cache, DBM engines) via [`Repository::register_obs`].
     pub fn with_registry(repo: R, registry: Arc<Registry>) -> DavHandler<R> {
+        Self::with_parts(repo, registry, VersionStore::new())
+    }
+
+    /// Fully-specified constructor: registry *and* version store. Lets a
+    /// deployment substitute [`VersionStore::persistent`] so DeltaV
+    /// histories survive restarts.
+    pub fn with_parts(repo: R, registry: Arc<Registry>, versions: VersionStore) -> DavHandler<R> {
         let repo = Arc::new(repo);
         repo.register_obs(&registry);
         DavHandler {
             repo,
             locks: Arc::new(LockManager::new()),
-            versions: Arc::new(VersionStore::new()),
+            versions: Arc::new(versions),
             obs: registry,
         }
     }

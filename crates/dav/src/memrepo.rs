@@ -14,7 +14,7 @@
 use crate::error::{DavError, Result};
 use crate::pathlock::PathLocks;
 use crate::property::{Property, PropertyName};
-use crate::repo::{live_props_from_meta, PropPatchOp, Repository, ResourceMeta};
+use crate::repo::{check_copy_overlap, live_props_from_meta, PropPatchOp, Repository, ResourceMeta};
 use parking_lot::Mutex;
 use pse_http::uri::{normalize_path, parent_path};
 use std::collections::{BTreeMap, HashMap};
@@ -265,6 +265,7 @@ impl Repository for MemRepository {
 
     fn copy(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
         let (src, dst) = (normalize_path(src), normalize_path(dst));
+        check_copy_overlap(&src, &dst)?;
         loop {
             let subtree = self.classify(&src).unwrap_or(false)
                 || self.classify(&dst).unwrap_or(false);
@@ -285,6 +286,7 @@ impl Repository for MemRepository {
 
     fn rename(&self, src: &str, dst: &str, overwrite: bool) -> Result<bool> {
         let (src, dst) = (normalize_path(src), normalize_path(dst));
+        check_copy_overlap(&src, &dst)?;
         loop {
             let subtree = self.classify(&src).unwrap_or(false)
                 || self.classify(&dst).unwrap_or(false);
@@ -518,6 +520,21 @@ mod tests {
         assert!(r.copy("/src", "/dst", false).is_err());
         // Overwrite replaces (and returns created=false).
         assert!(!r.copy("/src", "/dst", true).unwrap());
+    }
+
+    #[test]
+    fn overlapping_copy_and_move_are_rejected_intact() {
+        let r = MemRepository::new();
+        r.mkcol("/src").unwrap();
+        r.put("/src/d", b"x", None).unwrap();
+        // Onto itself, into its own subtree, and over an ancestor: all
+        // three destroyed the source before this guard existed.
+        assert!(r.copy("/src", "/src", true).is_err());
+        assert!(r.copy("/src", "/src/inner", true).is_err());
+        assert!(r.rename("/src/d", "/src/d", true).is_err());
+        assert!(r.rename("/src", "/src/d", true).is_err());
+        assert!(r.copy("/src/d", "/src", true).is_err());
+        assert_eq!(r.get("/src/d").unwrap(), b"x");
     }
 
     #[test]

@@ -37,6 +37,27 @@ impl ResourceMeta {
     }
 }
 
+/// Reject COPY/MOVE pairs whose source and destination overlap: the
+/// same resource, a destination inside the source's subtree, or a
+/// source inside the destination's subtree (RFC 2518 §8.8.5 forbids
+/// copying a collection into itself). Backends remove an existing
+/// destination before copying, so an overlapping pair would destroy
+/// the source mid-operation; this check runs first, on canonical
+/// paths, in every backend.
+pub fn check_copy_overlap(src: &str, dst: &str) -> Result<()> {
+    let nested = |outer: &str, inner: &str| {
+        inner.len() > outer.len()
+            && inner.starts_with(outer)
+            && (outer == "/" || inner.as_bytes()[outer.len()] == b'/')
+    };
+    if src == dst || nested(src, dst) || nested(dst, src) {
+        return Err(DavError::PreconditionFailed(format!(
+            "source {src} and destination {dst} overlap"
+        )));
+    }
+    Ok(())
+}
+
 /// One PROPPATCH instruction, in document order (RFC 2518 §8.2).
 #[derive(Debug, Clone)]
 pub enum PropPatchOp {

@@ -22,6 +22,9 @@ use pse_http::{Request, Response, StatusCode};
 use pse_xml::dom::{Document, Element};
 use pse_xml::writer::Writer;
 use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
 
 /// One stored version of a document.
 #[derive(Debug, Clone)]
@@ -36,12 +39,59 @@ pub struct Version {
 #[derive(Debug, Default)]
 pub struct VersionStore {
     histories: Mutex<HashMap<String, Vec<Version>>>,
+    /// When set, every history is written through to one file per
+    /// resource under this directory and reloaded on startup, so
+    /// `VERSION-CONTROL` state survives a server restart.
+    dir: Option<PathBuf>,
 }
 
 impl VersionStore {
-    /// An empty store.
+    /// An empty, memory-only store.
     pub fn new() -> VersionStore {
         VersionStore::default()
+    }
+
+    /// A store persisted under `dir` (created if absent), pre-loaded
+    /// with every history a previous process left there. Unreadable or
+    /// corrupt history files are skipped, not fatal: losing a version
+    /// tree degrades DeltaV, it must not take the data store down.
+    pub fn persistent(dir: impl Into<PathBuf>) -> std::io::Result<VersionStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut histories = HashMap::new();
+        for entry in fs::read_dir(&dir)? {
+            let Ok(entry) = entry else { continue };
+            if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                continue;
+            }
+            let Ok(bytes) = fs::read(entry.path()) else { continue };
+            if let Some((path, history)) = decode_history(&bytes) {
+                histories.insert(path, history);
+            }
+        }
+        Ok(VersionStore {
+            histories: Mutex::new(histories),
+            dir: Some(dir),
+        })
+    }
+
+    /// Write `path`'s history through to disk (no-op for memory-only
+    /// stores). Called with the histories lock held, so persisted state
+    /// never interleaves between two concurrent mutations.
+    fn persist(&self, path: &str, history: &[Version]) {
+        let Some(dir) = &self.dir else { return };
+        let file = dir.join(escape_history_filename(path));
+        let tmp = dir.join(format!("{}.tmp", escape_history_filename(path)));
+        let bytes = encode_history(path, history);
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+            fs::rename(&tmp, &file)
+        };
+        if let Err(e) = write() {
+            eprintln!("pse-dav: failed to persist version history for {path}: {e}");
+        }
     }
 
     /// Is `path` under version control?
@@ -69,10 +119,9 @@ impl VersionStore {
             return Ok(Response::ok());
         }
         let content = repo.get(path)?;
-        h.insert(
-            path.to_owned(),
-            vec![Version { number: 1, content }],
-        );
+        let history = vec![Version { number: 1, content }];
+        self.persist(path, &history);
+        h.insert(path.to_owned(), history);
         Ok(Response::ok())
     }
 
@@ -96,6 +145,7 @@ impl VersionStore {
                 number,
                 content: current,
             });
+            self.persist(path, history);
         }
         Ok(())
     }
@@ -112,6 +162,7 @@ impl VersionStore {
                     number,
                     content: content.to_vec(),
                 });
+                self.persist(path, history);
             }
         }
     }
@@ -173,6 +224,63 @@ impl VersionStore {
         let xml = Writer::new().write_document(&Document::with_root(tree));
         Ok(Response::new(StatusCode::OK).with_xml_body(xml))
     }
+}
+
+/// One history file per resource, named by escaping the resource path
+/// (`[A-Za-z0-9._-]` kept, every other byte `%XX`-encoded) so distinct
+/// paths always map to distinct filenames.
+fn escape_history_filename(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for b in path.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// History file layout (all integers u32 LE):
+/// `path_len path_bytes version_count (number content_len content)*`.
+fn encode_history(path: &str, history: &[Version]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+    out.extend_from_slice(path.as_bytes());
+    out.extend_from_slice(&(history.len() as u32).to_le_bytes());
+    for v in history {
+        out.extend_from_slice(&v.number.to_le_bytes());
+        out.extend_from_slice(&(v.content.len() as u32).to_le_bytes());
+        out.extend_from_slice(&v.content);
+    }
+    out
+}
+
+fn decode_history(bytes: &[u8]) -> Option<(String, Vec<Version>)> {
+    fn take_u32(bytes: &[u8], at: &mut usize) -> Option<u32> {
+        let v = u32::from_le_bytes(bytes.get(*at..*at + 4)?.try_into().ok()?);
+        *at += 4;
+        Some(v)
+    }
+    fn take(bytes: &[u8], at: &mut usize, len: usize) -> Option<Vec<u8>> {
+        let v = bytes.get(*at..*at + len)?.to_vec();
+        *at += len;
+        Some(v)
+    }
+    let mut at = 0usize;
+    let path_len = take_u32(bytes, &mut at)? as usize;
+    let path = String::from_utf8(take(bytes, &mut at, path_len)?).ok()?;
+    let count = take_u32(bytes, &mut at)? as usize;
+    let mut history = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let number = take_u32(bytes, &mut at)?;
+        let len = take_u32(bytes, &mut at)? as usize;
+        let content = take(bytes, &mut at, len)?;
+        history.push(Version { number, content });
+    }
+    if at != bytes.len() || history.is_empty() {
+        return None; // truncated tail or trailing garbage: skip the file
+    }
+    Some((path, history))
 }
 
 #[cfg(test)]
@@ -266,6 +374,80 @@ mod tests {
         let resp = store.report(&repo, &req).unwrap();
         let doc = Document::parse(&resp.body_text()).unwrap();
         assert_eq!(doc.root().children_elems().count(), 0);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pse-versions-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn histories_survive_a_restart() {
+        let dir = temp_dir("restart");
+        let repo = MemRepository::new();
+        repo.mkcol("/proj").unwrap();
+        repo.put("/proj/calc output.log", b"v1", None).unwrap();
+        {
+            let store = VersionStore::persistent(&dir).unwrap();
+            store
+                .version_control(&repo, &Request::new(Method::VersionControl, "/proj/calc output.log"))
+                .unwrap();
+            store.record_put("/proj/calc output.log", b"v2-longer");
+        }
+        // A fresh store (new process, same directory) sees the history.
+        let store = VersionStore::persistent(&dir).unwrap();
+        assert!(store.is_versioned("/proj/calc output.log"));
+        assert_eq!(store.version_count("/proj/calc output.log"), 2);
+        let req = Request::new(Method::Report, "/proj/calc output.log").with_xml_body(
+            r#"<D:version-content xmlns:D="DAV:"><D:version>1</D:version></D:version-content>"#,
+        );
+        assert_eq!(store.report(&repo, &req).unwrap().body, b"v1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_history_files_are_skipped_on_load() {
+        let dir = temp_dir("corrupt");
+        let repo = MemRepository::new();
+        repo.put("/good", b"ok", None).unwrap();
+        {
+            let store = VersionStore::persistent(&dir).unwrap();
+            store
+                .version_control(&repo, &Request::new(Method::VersionControl, "/good"))
+                .unwrap();
+        }
+        fs::write(dir.join("%2Fbad"), b"\xFF\xFF not a history").unwrap();
+        let store = VersionStore::persistent(&dir).unwrap();
+        assert!(store.is_versioned("/good"));
+        assert!(!store.is_versioned("/bad"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_roundtrip_and_filename_escaping() {
+        let history = vec![
+            Version { number: 1, content: b"a".to_vec() },
+            Version { number: 2, content: vec![0, 1, 2, 255] },
+        ];
+        let bytes = encode_history("/x/y z", &history);
+        let (path, back) = decode_history(&bytes).unwrap();
+        assert_eq!(path, "/x/y z");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].content, vec![0, 1, 2, 255]);
+        // Truncation at any boundary is rejected, not mis-parsed.
+        for cut in 0..bytes.len() {
+            assert!(decode_history(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        // Distinct paths → distinct filenames; no path separators leak.
+        let a = escape_history_filename("/a/b");
+        let b = escape_history_filename("/a%2Fb");
+        assert_ne!(a, b);
+        assert!(!a.contains('/'), "{a}");
     }
 
     #[test]

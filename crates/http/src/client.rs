@@ -19,10 +19,12 @@ use crate::error::{Error, Result};
 use crate::message::{Request, Response};
 use crate::method::Method;
 use crate::retry::RetryPolicy;
+use crate::uri::Target;
 use crate::wire::{self, Limits};
 use pse_obs::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -57,6 +59,12 @@ pub struct Client {
     retries: u64,
     /// Resolved retry-path metrics (no-ops until [`Client::set_registry`]).
     obs: ClientObs,
+    /// Maximum 307/308 hops to follow transparently (0 = surface the
+    /// redirect response to the caller, the default).
+    follow_redirects: u32,
+    /// Persistent connections to redirect targets on *other*
+    /// authorities, keyed by `host:port`.
+    redirect_pool: HashMap<String, Client>,
 }
 
 /// Counters the retry loop records into, resolved once per registry so
@@ -100,6 +108,8 @@ impl Client {
             connects: 0,
             retries: 0,
             obs: ClientObs::resolve(&Registry::disabled()),
+            follow_redirects: 0,
+            redirect_pool: HashMap::new(),
         };
         c.ensure_connected()?;
         Ok(c)
@@ -165,11 +175,76 @@ impl Client {
         Ok(())
     }
 
+    /// Follow up to `max_hops` `307`/`308` redirects transparently,
+    /// replaying the method and body verbatim (the RFC 7538 rule —
+    /// unlike 301/302 the method must NOT degrade to GET). `0` restores
+    /// the default: redirects are returned to the caller. Cross-host
+    /// `Location` targets are followed over pooled secondary
+    /// connections, which is how a cluster router can *redirect* writes
+    /// to a shard primary instead of proxying them.
+    pub fn set_follow_redirects(&mut self, max_hops: u32) {
+        self.follow_redirects = max_hops;
+    }
+
     /// Send a request and read the response, retrying per the installed
-    /// [`RetryPolicy`]. Only transport-level failures (reset, EOF,
-    /// timeout, garbled response) are retried, and only for idempotent
-    /// methods; HTTP error statuses are responses, not failures.
-    pub fn send(&mut self, mut req: Request) -> Result<Response> {
+    /// [`RetryPolicy`] and following `307`/`308` redirects when
+    /// [`Client::set_follow_redirects`] enabled it.
+    pub fn send(&mut self, req: Request) -> Result<Response> {
+        if self.follow_redirects == 0 {
+            return self.send_once(req);
+        }
+        let budget = self.follow_redirects;
+        let mut req = req;
+        let mut hops = 0u32;
+        loop {
+            // Clone before sending: the body must be replayable.
+            let resp = self.send_once(req.clone())?;
+            let code = resp.status.code();
+            if code != 307 && code != 308 {
+                return Ok(resp);
+            }
+            let Some(location) = resp.headers.get("Location").map(str::to_owned) else {
+                return Ok(resp); // malformed redirect: surface it
+            };
+            hops += 1;
+            if hops > budget {
+                return Err(Error::TooManyRedirects { hops, location });
+            }
+            let (authority, path) = split_location(&location);
+            req.target = Target::parse(&path);
+            match authority {
+                Some(auth) if auth != self.host_header => {
+                    let remaining = budget - hops;
+                    let sub = self.redirect_client(&auth)?;
+                    sub.follow_redirects = remaining;
+                    return sub.send(req);
+                }
+                _ => {} // same authority (or relative): loop and re-send
+            }
+        }
+    }
+
+    /// A pooled connection to a redirect target on another authority,
+    /// inheriting this client's credentials, limits and retry policy.
+    fn redirect_client(&mut self, authority: &str) -> Result<&mut Client> {
+        if !self.redirect_pool.contains_key(authority) {
+            let mut sub = Client::connect(authority)?;
+            if let Some(c) = &self.credentials {
+                sub.set_credentials(c.clone());
+            }
+            sub.set_limits(self.limits);
+            sub.set_retry_policy(self.retry.clone());
+            sub.set_policy(self.policy);
+            self.redirect_pool.insert(authority.to_owned(), sub);
+        }
+        Ok(self.redirect_pool.get_mut(authority).expect("just inserted"))
+    }
+
+    /// One logical exchange (with transport retries, no redirect
+    /// following). Only transport-level failures (reset, EOF, timeout,
+    /// garbled response) are retried, and only for idempotent methods;
+    /// HTTP error statuses are responses, not failures.
+    fn send_once(&mut self, mut req: Request) -> Result<Response> {
         if let Some(c) = &self.credentials {
             req.headers.set("Authorization", c.to_header_value());
         }
@@ -284,6 +359,23 @@ impl Client {
 /// Failures that a fresh connection can plausibly cure.
 fn is_transient(e: &Error) -> bool {
     matches!(e, Error::ConnectionClosed | Error::Io(_) | Error::Parse(_))
+}
+
+/// Split a `Location` value into `(authority, path-with-query)`.
+/// Absolute URLs (`http://host:port/a/b?q`) yield `Some("host:port")`;
+/// relative references yield `None` and are resolved against the
+/// current connection. An absolute URL with no path maps to `/`.
+fn split_location(location: &str) -> (Option<String>, String) {
+    let rest = location
+        .strip_prefix("http://")
+        .or_else(|| location.strip_prefix("https://"));
+    match rest {
+        Some(rest) => match rest.find('/') {
+            Some(i) => (Some(rest[..i].to_owned()), rest[i..].to_owned()),
+            None => (Some(rest.to_owned()), "/".to_owned()),
+        },
+        None => (None, location.to_owned()),
+    }
 }
 
 /// An idle persistent connection must have nothing to read. Readable
@@ -445,5 +537,98 @@ mod tests {
     fn connect_error_is_reported() {
         // Port 1 on localhost is almost certainly closed.
         assert!(Client::connect("127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn split_location_parses_absolute_and_relative() {
+        assert_eq!(
+            split_location("http://127.0.0.1:8080/a/b?q=1"),
+            (Some("127.0.0.1:8080".into()), "/a/b?q=1".into())
+        );
+        assert_eq!(
+            split_location("http://host:99"),
+            (Some("host:99".into()), "/".into())
+        );
+        assert_eq!(split_location("/just/a/path"), (None, "/just/a/path".into()));
+    }
+
+    #[test]
+    fn redirects_are_surfaced_by_default() {
+        let s = Server::bind("127.0.0.1:0", ServerConfig::default(), |_req| {
+            Response::new(crate::StatusCode::TEMPORARY_REDIRECT)
+                .with_header("Location", "/elsewhere")
+        })
+        .unwrap();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        assert_eq!(c.get("/a").unwrap().status.code(), 307);
+        s.shutdown();
+    }
+
+    #[test]
+    fn same_host_redirect_replays_method_and_body() {
+        // /old answers 308 → /new; /new echoes "method path body".
+        let s = Server::bind("127.0.0.1:0", ServerConfig::default(), |req: Request| {
+            if req.target.path() == "/old" {
+                Response::new(crate::StatusCode::PERMANENT_REDIRECT)
+                    .with_header("Location", "/new")
+            } else {
+                let echo = format!(
+                    "{} {} {}",
+                    req.method,
+                    req.target.path(),
+                    String::from_utf8_lossy(&req.body)
+                );
+                Response::ok().with_body(echo.into_bytes())
+            }
+        })
+        .unwrap();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        c.set_follow_redirects(4);
+        let resp = c.put("/old", "payload").unwrap();
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(resp.body_text(), "PUT /new payload");
+        s.shutdown();
+    }
+
+    #[test]
+    fn cross_host_redirect_uses_a_pooled_secondary_connection() {
+        // Backend echoes; the front server 307s every request to it.
+        let backend = Server::bind("127.0.0.1:0", ServerConfig::default(), |req: Request| {
+            Response::ok().with_body(req.target.path().as_bytes().to_vec())
+        })
+        .unwrap();
+        let target = format!("http://{}", backend.local_addr());
+        let front = Server::bind("127.0.0.1:0", ServerConfig::default(), move |req: Request| {
+            Response::new(crate::StatusCode::TEMPORARY_REDIRECT)
+                .with_header("Location", format!("{target}{}", req.target.path()))
+        })
+        .unwrap();
+        let mut c = Client::connect(front.local_addr()).unwrap();
+        c.set_follow_redirects(2);
+        for path in ["/x", "/y", "/z"] {
+            assert_eq!(c.get(path).unwrap().body_text(), path);
+        }
+        assert_eq!(c.redirect_pool.len(), 1, "secondary connection is pooled");
+        front.shutdown();
+        backend.shutdown();
+    }
+
+    #[test]
+    fn redirect_loops_exhaust_the_hop_budget() {
+        let s = Server::bind("127.0.0.1:0", ServerConfig::default(), |_req| {
+            Response::new(crate::StatusCode::TEMPORARY_REDIRECT)
+                .with_header("Location", "/again")
+        })
+        .unwrap();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        c.set_follow_redirects(3);
+        match c.get("/start") {
+            Err(Error::TooManyRedirects { hops, location }) => {
+                assert_eq!(hops, 4);
+                assert_eq!(location, "/again");
+            }
+            other => panic!("expected TooManyRedirects, got {other:?}"),
+        }
+        s.shutdown();
     }
 }

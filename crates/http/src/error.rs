@@ -48,6 +48,14 @@ pub enum Error {
         /// The last transport failure observed.
         cause: Box<Error>,
     },
+    /// A 307/308 chain exceeded the configured hop budget — either a
+    /// redirect loop or a misconfigured cluster router.
+    TooManyRedirects {
+        /// Hops followed before giving up.
+        hops: u32,
+        /// The last `Location` target that would have been next.
+        location: String,
+    },
 }
 
 impl From<io::Error> for Error {
@@ -76,6 +84,9 @@ impl fmt::Display for Error {
                 "{method} may have executed on the server but the response was lost ({cause}); \
                  not retried because {method} is not idempotent"
             ),
+            Error::TooManyRedirects { hops, location } => {
+                write!(f, "gave up after {hops} redirect hop(s); next was {location}")
+            }
             Error::RetriesExhausted { attempts, cause } => {
                 write!(f, "request failed after {attempts} attempt(s): {cause}")
             }

@@ -19,6 +19,10 @@ impl StatusCode {
     pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
     /// 304 Not Modified
     pub const NOT_MODIFIED: StatusCode = StatusCode(304);
+    /// 307 Temporary Redirect (method + body must be replayed verbatim)
+    pub const TEMPORARY_REDIRECT: StatusCode = StatusCode(307);
+    /// 308 Permanent Redirect (RFC 7538; same replay rule as 307)
+    pub const PERMANENT_REDIRECT: StatusCode = StatusCode(308);
     /// 400 Bad Request
     pub const BAD_REQUEST: StatusCode = StatusCode(400);
     /// 401 Unauthorized
@@ -31,6 +35,8 @@ impl StatusCode {
     pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
     /// 409 Conflict
     pub const CONFLICT: StatusCode = StatusCode(409);
+    /// 410 Gone (the change-log window no longer covers the request)
+    pub const GONE: StatusCode = StatusCode(410);
     /// 412 Precondition Failed
     pub const PRECONDITION_FAILED: StatusCode = StatusCode(412);
     /// 413 Request Entity Too Large
@@ -86,6 +92,8 @@ impl StatusCode {
             301 => "Moved Permanently",
             302 => "Found",
             304 => "Not Modified",
+            307 => "Temporary Redirect",
+            308 => "Permanent Redirect",
             400 => "Bad Request",
             401 => "Unauthorized",
             403 => "Forbidden",
@@ -93,6 +101,7 @@ impl StatusCode {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             409 => "Conflict",
+            410 => "Gone",
             411 => "Length Required",
             412 => "Precondition Failed",
             413 => "Request Entity Too Large",

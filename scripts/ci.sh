@@ -25,15 +25,24 @@
 #    (override with PSE_C10K_CONNS) against a worker pool of 8 must
 #    leave fresh clients fast, the staleness detector clean, and
 #    shutdown prompt.
+# 8. With --cluster: the replication gate — 1 primary + 2 replicas +
+#    the consistent-hash router in-process, with the staleness /
+#    torn-write / MOVE-atomicity detectors pointed through the router,
+#    a replica-kill failover smoke, snapshot resync after log
+#    compaction, and repro_cluster --check (read throughput must rise
+#    monotonically 1 -> 2 -> 4 replicas with zero failover errors).
+#    PSE_CLUSTER_OPS / PSE_CLUSTER_THREADS are honoured when set.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STRESS=0
 C10K=0
+CLUSTER=0
 for arg in "$@"; do
     case "$arg" in
         --stress) STRESS=1 ;;
         --c10k) C10K=1 ;;
+        --cluster) CLUSTER=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -91,6 +100,19 @@ if [ "$C10K" = 1 ]; then
     export PSE_C10K_CONNS
     echo "==> c10k gate: $PSE_C10K_CONNS parked connections, pool of 8"
     cargo test -q --test c10k
+fi
+
+if [ "$CLUSTER" = 1 ]; then
+    : "${PSE_CLUSTER_OPS:=120}"
+    : "${PSE_CLUSTER_THREADS:=3}"
+    export PSE_CLUSTER_OPS PSE_CLUSTER_THREADS
+    echo "==> cluster gate: replication invariants through the router (threads=$PSE_CLUSTER_THREADS, ops=$PSE_CLUSTER_OPS)"
+    cargo test -q --test cluster
+    echo "==> cluster gate: replay convergence property tests"
+    cargo test -q -p pse-cluster
+    echo "==> cluster gate: repro_cluster --check (monotonic read scaling + clean failover)"
+    cargo build --release -p pse-bench --bin repro_cluster
+    ./target/release/repro_cluster --check
 fi
 
 echo "==> ci OK"

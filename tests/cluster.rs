@@ -1,0 +1,566 @@
+//! Cluster gate: one primary, two replicas, and the consistent-hash
+//! router, all in-process over real TCP.
+//!
+//! The suite re-runs the concurrency detectors *through the router* —
+//! the invariants must survive replication, not just a single server:
+//!
+//! * read-your-writes — once a writer's PUT is acknowledged through the
+//!   router, every later read through the router (which may land on a
+//!   replica) returns that sequence number or newer;
+//! * a PROPPATCH batch is never torn, even when the read is served from
+//!   a replica that applied the batch from the change log;
+//! * MOVE stays atomic: a Depth-1 PROPFIND sees each moving document at
+//!   exactly one home, on whichever node answers;
+//! * killing a replica mid-run loses no request — the router fails over
+//!   and a restarted replica is re-admitted after catching up;
+//! * a replica that finds the log compacted past its cursor rebuilds
+//!   itself from a full snapshot and converges to identical state.
+//!
+//! Knobs (honoured by `scripts/ci.sh --cluster`):
+//!   PSE_CLUSTER_OPS      writer operations per thread (default 60)
+//!   PSE_CLUSTER_THREADS  writer (= reader) thread count (default 2)
+//!   PSE_CLUSTER_SEED     workload schedule seed (default 7)
+
+use davpse::dav::client::DavClient;
+use davpse::dav::depth::Depth;
+use davpse::dav::property::{Property, PropertyName};
+use davpse::dav::repo::Repository;
+use pse_cluster::{BackendSpec, NodeConfig, Primary, Replica, Router, RouterConfig};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+static N: AtomicU64 = AtomicU64::new(0);
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn prop_names() -> [PropertyName; 4] {
+    [0, 1, 2, 3].map(|i| PropertyName::new("urn:cluster", &format!("p{i}")))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "davpse-cluster-{tag}-{n}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One shard (primary + `replicas` followers) fronted by a router.
+struct Cluster {
+    router: Option<Router>,
+    primary: Option<Primary>,
+    replicas: Vec<Replica>,
+    dir: PathBuf,
+}
+
+impl Cluster {
+    fn start(tag: &str, replicas: usize) -> Cluster {
+        let dir = temp_dir(tag);
+        let cfg = NodeConfig::default();
+        let primary = Primary::start(&dir.join("primary"), "127.0.0.1:0", cfg.clone()).unwrap();
+        let reps: Vec<Replica> = (0..replicas)
+            .map(|i| {
+                Replica::start(
+                    &dir.join(format!("r{i}")),
+                    "127.0.0.1:0",
+                    primary.addr(),
+                    cfg.clone(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let spec = BackendSpec {
+            primary: primary.addr(),
+            replicas: reps.iter().map(|r| r.addr()).collect(),
+        };
+        let router = Router::start(
+            "127.0.0.1:0",
+            &[spec],
+            RouterConfig {
+                retry_after: Duration::from_millis(200),
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        Cluster {
+            router: Some(router),
+            primary: Some(primary),
+            replicas: reps,
+            dir,
+        }
+    }
+
+    fn client(&self) -> DavClient {
+        DavClient::connect(self.router.as_ref().unwrap().addr()).unwrap()
+    }
+
+    fn wait_replicas_caught_up(&self, timeout: Duration) {
+        let target = self.primary.as_ref().unwrap().seq();
+        for r in &self.replicas {
+            assert!(
+                r.wait_caught_up(target, timeout),
+                "replica {} stuck at {} (target {target})",
+                r.addr(),
+                r.applied()
+            );
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(r) = self.router.take() {
+            r.shutdown();
+        }
+        for r in self.replicas.drain(..) {
+            r.shutdown();
+        }
+        if let Some(p) = self.primary.take() {
+            p.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Observable replicated state: every path's kind, bytes, content type,
+/// and dead properties (live ones derive from per-node clocks).
+type State = BTreeMap<String, (bool, Vec<u8>, Option<String>, BTreeMap<Vec<u8>, Vec<u8>>)>;
+
+fn state(repo: &dyn Repository) -> State {
+    let mut paths = Vec::new();
+    repo.walk("/", None, &mut |p: &str| paths.push(p.to_owned()))
+        .unwrap();
+    let mut out = State::new();
+    for p in paths {
+        let meta = repo.meta(&p).unwrap();
+        let body = if meta.is_collection {
+            Vec::new()
+        } else {
+            repo.get(&p).unwrap()
+        };
+        let mut props = BTreeMap::new();
+        for prop in repo.all_props(&p).unwrap() {
+            if !prop.name.is_live() {
+                props.insert(prop.name.storage_key(), prop.to_storage());
+            }
+        }
+        out.insert(p, (meta.is_collection, body, meta.content_type, props));
+    }
+    out
+}
+
+fn parse_seq(s: &str, prefix: &str) -> u64 {
+    s.strip_prefix(prefix)
+        .and_then(|rest| rest.parse().ok())
+        .unwrap_or_else(|| panic!("malformed value {s:?} (want {prefix}<seq>)"))
+}
+
+/// The concurrency.rs detector suite, pointed at the router.
+#[test]
+fn router_preserves_staleness_and_atomicity_invariants() {
+    let threads = env_u64("PSE_CLUSTER_THREADS", 2) as usize;
+    let ops = env_u64("PSE_CLUSTER_OPS", 60);
+    let seed = env_u64("PSE_CLUSTER_SEED", 7);
+
+    let cluster = Cluster::start("stress", 2);
+    let mut setup = cluster.client();
+    setup.mkcol("/stress").unwrap();
+    for i in 0..threads {
+        setup
+            .put(&format!("/stress/w{i}"), format!("t{i}-seq0"), None)
+            .unwrap();
+        setup
+            .put(&format!("/stress/m{i}-a"), "mover", None)
+            .unwrap();
+    }
+
+    let put_seq: Arc<Vec<AtomicU64>> = Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+    let prop_seq: Arc<Vec<AtomicU64>> =
+        Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(threads * 2));
+
+    let writers: Vec<_> = (0..threads)
+        .map(|i| {
+            let mut c = cluster.client();
+            let put_seq = Arc::clone(&put_seq);
+            let prop_seq = Arc::clone(&prop_seq);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+                let doc = format!("/stress/w{i}");
+                let mut at_a = true;
+                start.wait();
+                for n in 1..=ops {
+                    match lcg(&mut rng) % 10 {
+                        0..=3 => {
+                            c.put(&doc, format!("t{i}-seq{n}"), None).unwrap();
+                            put_seq[i].store(n, Ordering::SeqCst);
+                        }
+                        4..=7 => {
+                            let props: Vec<Property> = prop_names()
+                                .into_iter()
+                                .map(|nm| Property::text(nm, &format!("s{n}")))
+                                .collect();
+                            c.proppatch(&doc, &props, &[]).unwrap();
+                            prop_seq[i].store(n, Ordering::SeqCst);
+                        }
+                        _ => {
+                            let (from, to) = if at_a {
+                                (format!("/stress/m{i}-a"), format!("/stress/m{i}-b"))
+                            } else {
+                                (format!("/stress/m{i}-b"), format!("/stress/m{i}-a"))
+                            };
+                            c.move_(&from, &to, false).unwrap();
+                            at_a = !at_a;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..threads)
+        .map(|r| {
+            let mut c = cluster.client();
+            let put_seq = Arc::clone(&put_seq);
+            let prop_seq = Arc::clone(&prop_seq);
+            let stop = Arc::clone(&stop);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                let mut rng = seed
+                    .wrapping_mul(0x2545f4914f6cdd1d)
+                    .wrapping_add(1000 + r as u64);
+                let names = prop_names();
+                start.wait();
+                while !stop.load(Ordering::SeqCst) {
+                    let i = (lcg(&mut rng) as usize) % put_seq.len();
+                    let doc = format!("/stress/w{i}");
+                    match lcg(&mut rng) % 3 {
+                        0 => {
+                            let floor = put_seq[i].load(Ordering::SeqCst);
+                            let body = String::from_utf8(c.get(&doc).unwrap()).unwrap();
+                            let got = parse_seq(&body, &format!("t{i}-seq"));
+                            assert!(
+                                got >= floor,
+                                "stale read-your-writes GET on {doc}: {got} < {floor}"
+                            );
+                        }
+                        1 => {
+                            let floor = prop_seq[i].load(Ordering::SeqCst);
+                            let ms = c.propfind(&doc, Depth::Zero, &names).unwrap();
+                            let entry = &ms.responses[0];
+                            let vals: Vec<Option<String>> = names
+                                .iter()
+                                .map(|nm| entry.prop(nm).map(|p| p.text_value()))
+                                .collect();
+                            assert!(
+                                vals.iter().all(|v| v == &vals[0]),
+                                "torn PROPFIND through router on {doc}: {vals:?}"
+                            );
+                            let got = match &vals[0] {
+                                Some(v) => parse_seq(v, "s"),
+                                None => 0,
+                            };
+                            assert!(got >= floor, "stale PROPFIND on {doc}: {got} < {floor}");
+                        }
+                        _ => {
+                            let ms = c
+                                .propfind(
+                                    "/stress",
+                                    Depth::One,
+                                    &[PropertyName::dav("resourcetype")],
+                                )
+                                .unwrap();
+                            for m in 0..put_seq.len() {
+                                let at_a =
+                                    ms.response_for(&format!("/stress/m{m}-a")).is_some();
+                                let at_b =
+                                    ms.response_for(&format!("/stress/m{m}-b")).is_some();
+                                assert!(
+                                    at_a != at_b,
+                                    "MOVE torn through router: m{m} a={at_a} b={at_b}"
+                                );
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    // While writes are flowing the floor outruns the appliers and the
+    // router (correctly) retries almost everything on the primary; the
+    // read-mostly tail after the writers stop is where replica reads
+    // must take over.
+    std::thread::sleep(Duration::from_millis(400));
+    stop.store(true, Ordering::SeqCst);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // Replication actually carried load: some reads came off replicas.
+    let snap = cluster.router.as_ref().unwrap().registry().snapshot();
+    assert!(
+        snap.counter("cluster.router.reads_replica") > 0,
+        "no read ever served by a replica: {:?}",
+        snap.counters
+    );
+    assert!(snap.counter("cluster.router.writes") > 0);
+
+    // Quiescent convergence: both replicas hold byte-identical state.
+    cluster.wait_replicas_caught_up(Duration::from_secs(20));
+    let want = state(cluster.primary.as_ref().unwrap().repo().as_ref());
+    for r in &cluster.replicas {
+        assert_eq!(state(r.repo().as_ref()), want, "replica {} diverged", r.addr());
+    }
+}
+
+/// Kill one replica mid-read-load: no client request may fail, the
+/// router must eject it, and a restart on the same address must be
+/// re-admitted once it catches up.
+#[test]
+fn replica_kill_failover_and_rejoin() {
+    let mut cluster = Cluster::start("failover", 2);
+    let mut setup = cluster.client();
+    setup.mkcol("/f").unwrap();
+    for i in 0..10 {
+        setup.put(&format!("/f/d{i}"), format!("v{i}"), None).unwrap();
+    }
+    cluster.wait_replicas_caught_up(Duration::from_secs(10));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let mut c = cluster.client();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = 99u64 + r;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let i = lcg(&mut rng) % 10;
+                    // Every read must succeed even while a replica dies.
+                    let body = c.get(&format!("/f/d{i}")).unwrap();
+                    assert_eq!(body, format!("v{i}").into_bytes());
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(150));
+    // Kill replica 0; keep its address and directory for the restart.
+    let victim = cluster.replicas.remove(0);
+    let victim_addr: SocketAddr = victim.addr();
+    let victim_dir = cluster.dir.join("r0");
+    victim.shutdown();
+
+    // Write while it is down so the restart has something to catch up.
+    let mut w = cluster.client();
+    for i in 0..10 {
+        w.put(&format!("/f/d{i}"), format!("v{i}"), None).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Restart on the same address: the router's half-open probe must
+    // re-admit it.
+    let reborn = Replica::start(
+        &victim_dir,
+        victim_addr,
+        cluster.primary.as_ref().unwrap().addr(),
+        NodeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(reborn.addr(), victim_addr);
+    assert!(
+        reborn.wait_caught_up(cluster.primary.as_ref().unwrap().seq(), Duration::from_secs(10)),
+        "restarted replica never caught up"
+    );
+    cluster.replicas.push(reborn);
+
+    // Keep reading until the router reports both replicas usable again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let registry = cluster.router.as_ref().unwrap().registry();
+    loop {
+        let snap = registry.snapshot();
+        if snap.gauge("cluster.router.replicas_usable") == 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ejected replica never re-admitted: {:?}",
+            snap.gauges
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0);
+
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("cluster.router.failovers") > 0,
+        "the kill was never observed: {:?}",
+        snap.counters
+    );
+}
+
+/// Writes sent straight to a replica come back as 307 and the DAV
+/// client replays them against the primary transparently.
+#[test]
+fn replica_redirects_writes_to_the_primary() {
+    let cluster = Cluster::start("redirect", 1);
+    let replica = &cluster.replicas[0];
+
+    let mut direct = DavClient::connect(replica.addr()).unwrap();
+    direct.set_follow_redirects(2);
+    assert!(direct.put("/doc", "via-replica", Some("text/plain")).unwrap());
+
+    // The write landed on the primary and replicated back.
+    let primary = cluster.primary.as_ref().unwrap();
+    assert_eq!(primary.repo().get("/doc").unwrap(), b"via-replica");
+    assert!(replica.wait_caught_up(primary.seq(), Duration::from_secs(10)));
+    assert_eq!(direct.get("/doc").unwrap(), b"via-replica");
+
+    // Without redirect-following the 307 surfaces as an error status.
+    let mut blind = DavClient::connect(replica.addr()).unwrap();
+    assert!(blind.put("/doc2", "x", None).is_err());
+}
+
+/// Two shards: the ring pins each top-level collection to one shard,
+/// and reads through the router find every document.
+#[test]
+fn consistent_hashing_shards_the_namespace() {
+    let dir = temp_dir("shards");
+    let cfg = NodeConfig::default();
+    let p0 = Primary::start(&dir.join("s0"), "127.0.0.1:0", cfg.clone()).unwrap();
+    let p1 = Primary::start(&dir.join("s1"), "127.0.0.1:0", cfg.clone()).unwrap();
+    let specs = [
+        BackendSpec { primary: p0.addr(), replicas: vec![] },
+        BackendSpec { primary: p1.addr(), replicas: vec![] },
+    ];
+    let router = Router::start("127.0.0.1:0", &specs, RouterConfig::default()).unwrap();
+
+    let mut c = DavClient::connect(router.addr()).unwrap();
+    let projects: Vec<String> = (0..8).map(|i| format!("proj{i}")).collect();
+    for p in &projects {
+        c.mkcol(&format!("/{p}")).unwrap();
+        c.put(&format!("/{p}/notes"), format!("data-{p}"), None).unwrap();
+    }
+
+    let shards = [&p0, &p1];
+    let mut per_shard = [0usize; 2];
+    for p in &projects {
+        let path = format!("/{p}/notes");
+        let home = router.shard_for(&path);
+        per_shard[home] += 1;
+        // The whole project lives on its shard, and only there.
+        assert_eq!(
+            shards[home].repo().get(&path).unwrap(),
+            format!("data-{p}").into_bytes()
+        );
+        assert!(!shards[1 - home].repo().exists(&path), "{path} leaked shards");
+        // MOVE within the project stays on one backend.
+        c.move_(&path, &format!("/{p}/notes2"), false).unwrap();
+        assert!(shards[home].repo().exists(&format!("/{p}/notes2")));
+        // And the router still finds it.
+        assert_eq!(
+            c.get(&format!("/{p}/notes2")).unwrap(),
+            format!("data-{p}").into_bytes()
+        );
+    }
+    assert!(
+        per_shard.iter().all(|&n| n > 0),
+        "all projects hashed to one shard: {per_shard:?}"
+    );
+
+    // A MOVE whose destination hashes to the other shard is refused
+    // (502) instead of silently parking the data where the ring will
+    // never look for it.
+    let (src, dst) = {
+        let mut by_shard = [None, None];
+        for p in &projects {
+            by_shard[router.shard_for(&format!("/{p}"))] = Some(p.clone());
+        }
+        (by_shard[0].clone().unwrap(), by_shard[1].clone().unwrap())
+    };
+    let from = format!("/{src}/notes2");
+    assert!(c.move_(&from, &format!("/{dst}/stolen"), false).is_err());
+    assert!(
+        shards[router.shard_for(&from)].repo().exists(&from),
+        "rejected cross-shard MOVE must leave the source intact"
+    );
+
+    router.shutdown();
+    p0.shutdown();
+    p1.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A replica whose cursor predates the compaction window rebuilds from
+/// a full snapshot and converges anyway.
+#[test]
+fn compaction_forces_snapshot_resync() {
+    let dir = temp_dir("resync");
+    let cfg = NodeConfig::default();
+    let primary = Primary::start(&dir.join("primary"), "127.0.0.1:0", cfg.clone()).unwrap();
+
+    let mut c = DavClient::connect(primary.addr()).unwrap();
+    c.mkcol("/proj").unwrap();
+    for i in 0..20 {
+        c.put(&format!("/proj/d{i}"), format!("body-{i}"), Some("text/plain"))
+            .unwrap();
+    }
+    c.proppatch(
+        "/proj/d0",
+        &[Property::text(PropertyName::new("urn:e", "k"), "v")],
+        &[],
+    )
+    .unwrap();
+
+    // Compact the log so a fresh replica's `since=0` pull hits 410.
+    primary.changelog().compact_keep_last(1).unwrap();
+
+    let replica = Replica::start(&dir.join("r0"), "127.0.0.1:0", primary.addr(), cfg).unwrap();
+    assert!(
+        replica.wait_caught_up(primary.seq(), Duration::from_secs(10)),
+        "resync never converged (applied {})",
+        replica.applied()
+    );
+    assert!(
+        replica.registry().snapshot().counter("cluster.replica.resyncs") > 0,
+        "replica caught up without a resync — compaction not exercised"
+    );
+    assert_eq!(
+        state(replica.repo().as_ref()),
+        state(primary.repo().as_ref()),
+        "snapshot resync diverged"
+    );
+
+    replica.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
