@@ -9,7 +9,7 @@
 //! Default sizes are the paper's 20 MB and 200 MB; set `PSE_SCALE=quick`
 //! to divide by 10 for constrained machines.
 
-use pse_bench::harness::{measure, mb, secs, Table};
+use pse_bench::harness::{emit_json_fields, measure, mb, secs, Table};
 use pse_bench::workloads::{payload, scratch_dir};
 use pse_ftp::client::FtpClient;
 use pse_ftp::server::{FtpServer, FtpServerConfig};
@@ -22,6 +22,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--delta") {
+        run_delta(args.iter().any(|a| a == "--check"));
+        return;
+    }
     let quick = std::env::var("PSE_SCALE").map(|v| v == "quick").unwrap_or(false);
     let scale = if quick { 10 } else { 1 };
     let small = 20 * 1024 * 1024 / scale;
@@ -142,4 +147,140 @@ fn main() {
          are bandwidth-bound and indistinguishable."
     );
     let _ = std::fs::remove_dir_all(&work);
+}
+
+/// `--delta`: the bulk-transfer fast path the paper's trajectory
+/// workload begs for. Upload a trajectory once in full, edit 1% of it,
+/// re-PUT with client-side CDC delta sync, and compare bytes on the
+/// wire (from the server's `http.bytes_in` counter, so every header and
+/// re-used-chunk request is charged honestly). `--check` gates the
+/// ≥10× reduction.
+fn run_delta(check: bool) {
+    use pse_cache::CacheConfig;
+    use pse_dav::client::DavClient;
+    use pse_dav::fsrepo::{FsConfig, FsRepository};
+    use pse_dav::handler::DavHandler;
+
+    let quick = std::env::var("PSE_SCALE").map(|v| v == "quick").unwrap_or(false);
+    let size: usize = if quick {
+        2 * 1024 * 1024
+    } else if pse_bench::harness::full_scale() {
+        200 * 1024 * 1024
+    } else {
+        20 * 1024 * 1024
+    };
+    println!("Delta-sync reproduction — 1% edit of a {} trajectory", mb(size as u64));
+
+    let work = scratch_dir("table2-delta");
+    let repo = FsRepository::create(work.join("dav-root"), FsConfig::default()).unwrap();
+    let limits = Limits {
+        max_body: 1024 * 1024 * 1024,
+        ..Limits::default()
+    };
+    let server = pse_dav::server::serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            limits: limits.clone(),
+            ..ServerConfig::default()
+        },
+        DavHandler::new(repo),
+    )
+    .unwrap();
+    let registry = server.registry();
+    let mut client = DavClient::connect(server.local_addr()).unwrap();
+    client.http().set_limits(limits);
+    // The delta base is the previously-written body; budget the cache so
+    // it actually survives until the re-PUT.
+    // One shard: the whole budget must admit a single entry of `size`
+    // bytes (the sharded default splits the budget 8 ways).
+    client.enable_cache(CacheConfig {
+        capacity_bytes: size * 2 + 1024 * 1024,
+        shards: 1,
+        ..CacheConfig::default()
+    });
+
+    let base = payload(size);
+    let before_full = registry.snapshot();
+    let (first, m_full) = measure(|| {
+        client
+            .put_delta("/traj.out", &base, Some("application/octet-stream"))
+            .unwrap()
+    });
+    let full_wire = registry.snapshot().delta(&before_full).counter("http.bytes_in");
+    assert!(first.full_fallback, "first upload has no base to diff against");
+
+    // Overwrite 1% of the trajectory in the middle — the paper's
+    // "ran a few more steps / fixed a header" edit.
+    let mut edited = base.clone();
+    let patch_len = size / 100;
+    let at = size / 2 - patch_len / 2;
+    for b in &mut edited[at..at + patch_len] {
+        *b ^= 0xA5;
+    }
+
+    let before_delta = registry.snapshot();
+    let (outcome, m_delta) = measure(|| {
+        client
+            .put_delta("/traj.out", &edited, Some("application/octet-stream"))
+            .unwrap()
+    });
+    let delta_wire = registry.snapshot().delta(&before_delta).counter("http.bytes_in");
+    assert!(!outcome.full_fallback, "delta re-PUT fell back to a full transfer");
+
+    // The server must hold exactly the edited bytes.
+    assert_eq!(client.get("/traj.out").unwrap(), edited, "delta sync corrupted the entity");
+
+    let ratio = full_wire as f64 / delta_wire.max(1) as f64;
+    let mut table = Table::new(
+        "Delta sync: bytes on the wire for a 1% edit",
+        &["transfer", "wire bytes", "elapsed", "chunks reused"],
+    );
+    table.row(&[
+        "full PUT".to_owned(),
+        mb(full_wire),
+        secs(m_full.elapsed_s()),
+        "-".to_owned(),
+    ]);
+    table.row(&[
+        "delta re-PUT".to_owned(),
+        mb(delta_wire),
+        secs(m_delta.elapsed_s()),
+        format!("{}/{}", outcome.chunks_reused, outcome.chunks_total),
+    ]);
+    table.print();
+    println!("\nwire-byte reduction: {ratio:.1}x (gate: >= 10x)");
+
+    let rows = vec![
+        (
+            "full_put".to_owned(),
+            vec![
+                ("wire_bytes", full_wire as f64),
+                ("elapsed_s", m_full.elapsed_s()),
+            ],
+        ),
+        (
+            "delta_put".to_owned(),
+            vec![
+                ("wire_bytes", delta_wire as f64),
+                ("elapsed_s", m_delta.elapsed_s()),
+                ("chunks_total", outcome.chunks_total as f64),
+                ("chunks_reused", outcome.chunks_reused as f64),
+                ("literal_bytes", outcome.bytes_sent as f64),
+                ("reduction_x", ratio),
+            ],
+        ),
+    ];
+    let path = emit_json_fields("bulk", &rows, None);
+    println!("wrote {}", path.display());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&work);
+    if check {
+        assert!(
+            ratio >= 10.0,
+            "delta sync moved {delta_wire} wire bytes vs {full_wire} for the full PUT \
+             ({ratio:.1}x < 10x)"
+        );
+        println!("check passed: {ratio:.1}x >= 10x");
+    }
 }

@@ -25,7 +25,7 @@ use crate::record::{ChangeRecord, PropOp};
 use pse_dav::error::{DavError, Result};
 use pse_dav::pathlock::PathLocks;
 use pse_dav::property::{Property, PropertyName};
-use pse_dav::repo::{PropPatchOp, Repository, ResourceMeta};
+use pse_dav::repo::{PropPatchOp, Repository, ResourceMeta, StageStatus};
 use std::io;
 use std::sync::Arc;
 
@@ -248,6 +248,50 @@ impl<R: Repository> Repository for LoggedRepository<R> {
         self.inner.all_props(path)
     }
 
+    // Staged uploads: staging accumulates state the log does not need —
+    // a half-finished upload is invisible to readers and to replicas.
+    // Only the commit mutates the visible tree, and it is logged as an
+    // absolute Put (the committed bytes read back from the inner
+    // repository) so replay stays position-independent: a replica needs
+    // no stage of its own to converge.
+    fn stage_status(&self, path: &str) -> Result<Option<StageStatus>> {
+        self.inner.stage_status(path)
+    }
+
+    fn stage_append(&self, path: &str, offset: u64, total: u64, data: &[u8]) -> Result<StageStatus> {
+        self.inner.stage_append(path, offset, total, data)
+    }
+
+    fn stage_copy_from(
+        &self,
+        path: &str,
+        offset: u64,
+        total: u64,
+        src: &str,
+        src_start: u64,
+        src_len: u64,
+    ) -> Result<StageStatus> {
+        self.inner
+            .stage_copy_from(path, offset, total, src, src_start, src_len)
+    }
+
+    fn stage_commit(&self, path: &str, content_type: Option<&str>) -> Result<bool> {
+        let _g = self.order.write_with_parent(path);
+        let created = self.inner.stage_commit(path, content_type)?;
+        let data = self.inner.get(path)?;
+        let meta = self.inner.meta(path)?;
+        self.append(ChangeRecord::Put {
+            path: path.to_owned(),
+            content_type: meta.content_type,
+            data,
+        })?;
+        Ok(created)
+    }
+
+    fn stage_abort(&self, path: &str) -> Result<()> {
+        self.inner.stage_abort(path)
+    }
+
     fn walk(&self, path: &str, max_depth: Option<u32>, visit: &mut dyn FnMut(&str)) -> Result<()> {
         self.inner.walk(path, max_depth, visit)
     }
@@ -314,6 +358,36 @@ mod tests {
         assert!(!repo
             .remove_prop("/d", &PropertyName::new("urn:x", "gone"))
             .unwrap());
+        assert_eq!(repo.log().last_seq(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn staged_commit_logs_an_absolute_put() {
+        let (repo, dir) = rig("stage");
+        // Staging itself leaves the log untouched...
+        repo.stage_append("/doc", 0, 6, b"abc").unwrap();
+        repo.stage_append("/doc", 3, 6, b"def").unwrap();
+        assert_eq!(repo.log().last_seq(), 0);
+        // ...the commit lands as one Put holding the full body.
+        assert!(repo.stage_commit("/doc", Some("text/plain")).unwrap());
+        let entries = repo.log().read_after(0, 10).unwrap();
+        assert_eq!(entries.len(), 1);
+        match &entries[0].record {
+            ChangeRecord::Put {
+                path,
+                content_type,
+                data,
+            } => {
+                assert_eq!(path, "/doc");
+                assert_eq!(content_type.as_deref(), Some("text/plain"));
+                assert_eq!(data, b"abcdef");
+            }
+            other => panic!("expected Put, got {}", other.kind()),
+        }
+        // Aborts stay invisible too.
+        repo.stage_append("/x", 0, 2, b"hi").unwrap();
+        repo.stage_abort("/x").unwrap();
         assert_eq!(repo.log().last_seq(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -8,6 +8,7 @@
 //! of the underlying `pse-http` client reproduces the persistent-vs-
 //! reconnect comparison the paper left "under investigation".
 
+use crate::cdc::{self, ChunkParams};
 use crate::depth::Depth;
 use crate::error::{DavError, Result};
 use crate::lock::LockScope;
@@ -53,6 +54,47 @@ struct CachedMultistatus {
 struct ClientCache {
     bodies: ShardedCache<String, Arc<CachedBody>>,
     multistatus: ShardedCache<String, Arc<CachedMultistatus>>,
+}
+
+/// The server's answer to a ranged GET ([`DavClient::get_range`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeBody {
+    /// 206: exactly the requested bytes, plus the entity's total length
+    /// from `Content-Range`.
+    Partial {
+        /// The requested byte range.
+        body: Vec<u8>,
+        /// Complete length of the entity on the server.
+        total: u64,
+    },
+    /// 200: the server sent the whole entity (range ignored, or the
+    /// `If-Range` validator went stale).
+    Full(Vec<u8>),
+    /// 416: no byte of the range exists; `total` is the entity length
+    /// from `Content-Range: bytes */N`.
+    Unsatisfiable {
+        /// Complete length of the entity on the server.
+        total: u64,
+    },
+}
+
+/// What [`DavClient::put_delta`] did and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// `true` when the PUT created the resource (201) vs updated (204).
+    pub created: bool,
+    /// Literal body bytes shipped over the wire (re-used chunks cost
+    /// only headers).
+    pub bytes_sent: u64,
+    /// Total size of the new entity.
+    pub bytes_total: u64,
+    /// Content-defined chunks in the new entity.
+    pub chunks_total: usize,
+    /// Chunks satisfied by server-side `X-Copy-From` instead of bytes.
+    pub chunks_reused: usize,
+    /// `true` when the client had no usable base (or the base changed
+    /// mid-flight) and fell back to one full PUT.
+    pub full_fallback: bool,
 }
 
 /// A blocking DAV client bound to one server.
@@ -249,6 +291,368 @@ impl DavClient {
         let resp = self.http.send(req)?;
         self.invalidate_cached(path);
         Ok(self.expect(resp, &[201, 204], "PUT")?.status.code() == 201)
+    }
+
+    // ---- bulk transfer (range GET, resumable PUT, delta sync) ----
+
+    /// GET a byte range (`spec` is the `Range` header value, e.g.
+    /// `bytes=0-1023`), optionally gated by an `If-Range` validator.
+    ///
+    /// This deliberately bypasses the validating cache in *both*
+    /// directions: a cached full body is never sliced and passed off as
+    /// the server's answer (only the server can couple the range to the
+    /// entity's current validator), and a partial body is never stored
+    /// as if it were the whole entity.
+    pub fn get_range(
+        &mut self,
+        path: &str,
+        spec: &str,
+        if_range: Option<&str>,
+    ) -> Result<RangeBody> {
+        let mut req = Request::new(Method::Get, path).with_header("Range", spec);
+        if let Some(v) = if_range {
+            req = req.with_header("If-Range", v);
+        }
+        let resp = self.http.send(req)?;
+        let content_range_total = |resp: &Response| {
+            resp.headers
+                .get("Content-Range")
+                .and_then(pse_http::range::parse_content_range)
+                .map(|(_, total)| total)
+                .ok_or_else(|| {
+                    DavError::BadRequest("ranged response without a Content-Range".into())
+                })
+        };
+        match resp.status.code() {
+            206 => {
+                let total = content_range_total(&resp)?;
+                Ok(RangeBody::Partial { body: resp.body, total })
+            }
+            200 => Ok(RangeBody::Full(resp.body)),
+            416 => {
+                let total = content_range_total(&resp)?;
+                Ok(RangeBody::Unsatisfiable { total })
+            }
+            _ => Err(DavError::UnexpectedStatus {
+                status: resp.status,
+                context: format!("ranged GET: {}", resp.body_text()),
+            }),
+        }
+    }
+
+    /// PUT `body` in `chunk_size`-byte pieces via `Content-Range`,
+    /// resuming where a previous (crashed or interrupted) upload left
+    /// off. A progress probe runs first; a mid-flight 416 resynchronises
+    /// from the server's `X-Staged-Bytes`. Returns `true` on create.
+    pub fn put_resumable(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        content_type: Option<&str>,
+        chunk_size: usize,
+    ) -> Result<bool> {
+        let total = body.len() as u64;
+        if total == 0 {
+            // Zero-length entities have nothing to resume.
+            return self.put(path, Vec::new(), content_type);
+        }
+        let chunk_size = chunk_size.max(1);
+        let mut offset = self.stage_probe(path, total)?;
+        let mut resyncs = 0u32;
+        while offset < total {
+            let end = (offset + chunk_size as u64).min(total) - 1;
+            let mut req = Request::new(Method::Put, path)
+                .with_header("Content-Range", format!("bytes {offset}-{end}/{total}"))
+                .with_body(body[offset as usize..=end as usize].to_vec());
+            if let Some(ct) = content_type {
+                req = req.with_header("Content-Type", ct);
+            }
+            let resp = self.http.send(req)?;
+            match resp.status.code() {
+                202 => offset = end + 1,
+                201 | 204 => {
+                    let created = resp.status.code() == 201;
+                    self.invalidate_cached(path);
+                    self.remember_body(path, resp.headers.get("ETag"), body);
+                    return Ok(created);
+                }
+                416 => {
+                    // The stage moved under us (or a stale stage from an
+                    // earlier total survived a server-side restart):
+                    // trust the server's count and continue from there.
+                    resyncs += 1;
+                    if resyncs > 3 {
+                        return Err(DavError::StageMismatch { staged: offset });
+                    }
+                    let staged = resp
+                        .headers
+                        .get("X-Staged-Bytes")
+                        .and_then(|v| v.parse::<u64>().ok());
+                    match staged {
+                        Some(s) if s <= total => offset = s,
+                        _ => {
+                            self.stage_abort(path, total)?;
+                            offset = 0;
+                        }
+                    }
+                }
+                _ => {
+                    return Err(DavError::UnexpectedStatus {
+                        status: resp.status,
+                        context: format!("resumable PUT: {}", resp.body_text()),
+                    })
+                }
+            }
+        }
+        // The server auto-commits the request that completes the stage,
+        // so the loop can only exit through a 201/204 above.
+        Err(DavError::BadRequest(
+            "resumable PUT fully staged but the server never committed".into(),
+        ))
+    }
+
+    /// PUT with content-defined delta sync: unchanged chunks of the
+    /// previously-fetched entity are re-used server-side via
+    /// `X-Copy-From`; only changed chunks travel as bytes. Needs the
+    /// validating cache enabled and holding the current entity (a prior
+    /// [`get`](Self::get), [`put_delta`](Self::put_delta) or full
+    /// [`put`](Self::put) seeds it); otherwise — or when the server's
+    /// entity changed mid-flight (412) — it degrades to one full PUT.
+    pub fn put_delta(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        content_type: Option<&str>,
+    ) -> Result<DeltaOutcome> {
+        self.put_delta_with(path, body, content_type, ChunkParams::default())
+    }
+
+    /// [`put_delta`](Self::put_delta) with explicit chunking parameters.
+    pub fn put_delta_with(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        content_type: Option<&str>,
+        params: ChunkParams,
+    ) -> Result<DeltaOutcome> {
+        let total = body.len() as u64;
+        let base = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.bodies.get(&path.to_owned()));
+        let base = match base {
+            // X-Copy-From rides an If-Match guard, which uses strong
+            // comparison — a weak base validator can never pass it.
+            Some(b) if !b.etag.starts_with("W/") && total > 0 && !b.body.is_empty() => b,
+            _ => return self.put_full_fallback(path, body, content_type),
+        };
+
+        // Index the base's chunks by content hash (byte-compare on use:
+        // a 64-bit hash is a match *hint*, not proof).
+        let old_chunks = cdc::chunk(&base.body, params);
+        let mut index: std::collections::HashMap<u64, Vec<&cdc::Chunk>> =
+            std::collections::HashMap::new();
+        for c in &old_chunks {
+            index.entry(c.hash).or_default().push(c);
+        }
+
+        // Plan the upload as coalesced copy/literal runs.
+        enum Op {
+            Copy { src: u64, len: u64 },
+            Literal { start: usize, len: usize },
+        }
+        let new_chunks = cdc::chunk(body, params);
+        let mut ops: Vec<Op> = Vec::new();
+        let mut reused = 0usize;
+        for c in &new_chunks {
+            let matched = index.get(&c.hash).and_then(|cands| {
+                cands.iter().find(|o| {
+                    o.len == c.len
+                        && base.body[o.offset..o.offset + o.len]
+                            == body[c.offset..c.offset + c.len]
+                })
+            });
+            match matched {
+                Some(o) => {
+                    reused += 1;
+                    if let Some(Op::Copy { src, len }) = ops.last_mut() {
+                        if *src + *len == o.offset as u64 {
+                            *len += o.len as u64;
+                            continue;
+                        }
+                    }
+                    ops.push(Op::Copy { src: o.offset as u64, len: o.len as u64 });
+                }
+                None => {
+                    if let Some(Op::Literal { len, .. }) = ops.last_mut() {
+                        *len += c.len;
+                        continue;
+                    }
+                    ops.push(Op::Literal { start: c.offset, len: c.len });
+                }
+            }
+        }
+
+        // Ship the plan. Every request carries If-Match so a base that
+        // changes under us surfaces as 412 instead of silent corruption.
+        let mut retried = false;
+        'attempt: loop {
+            let mut offset = 0u64;
+            let mut bytes_sent = 0u64;
+            for op in &ops {
+                let (len, mut req) = match *op {
+                    Op::Copy { src, len } => (
+                        len,
+                        Request::new(Method::Put, path)
+                            .with_header(
+                                "Content-Range",
+                                format!("bytes {offset}-{}/{total}", offset + len - 1),
+                            )
+                            .with_header(
+                                "X-Copy-From",
+                                format!("bytes={src}-{}", src + len - 1),
+                            ),
+                    ),
+                    Op::Literal { start, len } => {
+                        bytes_sent += len as u64;
+                        (
+                            len as u64,
+                            Request::new(Method::Put, path)
+                                .with_header(
+                                    "Content-Range",
+                                    format!("bytes {offset}-{}/{total}", offset + len as u64 - 1),
+                                )
+                                .with_body(body[start..start + len].to_vec()),
+                        )
+                    }
+                };
+                req = req.with_header("If-Match", &base.etag);
+                if let Some(ct) = content_type {
+                    req = req.with_header("Content-Type", ct);
+                }
+                let resp = self.http.send(req)?;
+                match resp.status.code() {
+                    202 => offset += len,
+                    201 | 204 => {
+                        let created = resp.status.code() == 201;
+                        self.invalidate_cached(path);
+                        self.remember_body(path, resp.headers.get("ETag"), body);
+                        return Ok(DeltaOutcome {
+                            created,
+                            bytes_sent,
+                            bytes_total: total,
+                            chunks_total: new_chunks.len(),
+                            chunks_reused: reused,
+                            full_fallback: false,
+                        });
+                    }
+                    // Base entity changed server-side: our copy sources
+                    // are meaningless now. Discard the stage, full PUT.
+                    412 => {
+                        self.stage_abort(path, total)?;
+                        return self.put_full_fallback(path, body, content_type);
+                    }
+                    // Stale stage from an earlier failed upload: discard
+                    // it and replay the plan once from byte zero.
+                    416 if !retried => {
+                        retried = true;
+                        self.stage_abort(path, total)?;
+                        continue 'attempt;
+                    }
+                    _ => {
+                        return Err(DavError::UnexpectedStatus {
+                            status: resp.status,
+                            context: format!("delta PUT: {}", resp.body_text()),
+                        })
+                    }
+                }
+            }
+            // A non-empty plan always ends in a committing request, so
+            // falling out of the loop means the server never reached
+            // `staged == total`.
+            return Err(DavError::BadRequest(
+                "delta PUT finished without a commit".into(),
+            ));
+        }
+    }
+
+    /// Progress probe: how many bytes of a `total`-byte upload to `path`
+    /// are already staged server-side? Discards a stage whose declared
+    /// total disagrees with `total` (it belongs to a different entity).
+    fn stage_probe(&mut self, path: &str, total: u64) -> Result<u64> {
+        let req = Request::new(Method::Put, path)
+            .with_header("Content-Range", format!("bytes */{total}"));
+        let resp = self.http.send(req)?;
+        let resp = self.expect(resp, &[202], "stage probe")?;
+        let staged = resp
+            .headers
+            .get("X-Staged-Bytes")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let staged_total = resp
+            .headers
+            .get("X-Staged-Total")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(total);
+        // A stage declared for a different total belongs to a different
+        // entity; a stage already at (or past) `total` can't accept the
+        // append that would trigger the commit. Discard both.
+        if staged_total != total || staged >= total {
+            self.stage_abort(path, total)?;
+            return Ok(0);
+        }
+        Ok(staged)
+    }
+
+    /// Discard any staged upload for `path`.
+    fn stage_abort(&mut self, path: &str, total: u64) -> Result<()> {
+        let req = Request::new(Method::Put, path)
+            .with_header("Content-Range", format!("bytes */{total}"))
+            .with_header("X-Stage-Abort", "1");
+        let resp = self.http.send(req)?;
+        self.expect(resp, &[204], "stage abort")?;
+        Ok(())
+    }
+
+    /// Full-body PUT used when delta sync has no base, remembering the
+    /// result so the *next* delta does.
+    fn put_full_fallback(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        content_type: Option<&str>,
+    ) -> Result<DeltaOutcome> {
+        let mut req = Request::new(Method::Put, path).with_body(body.to_vec());
+        if let Some(ct) = content_type {
+            req = req.with_header("Content-Type", ct);
+        }
+        let resp = self.http.send(req)?;
+        self.invalidate_cached(path);
+        let resp = self.expect(resp, &[201, 204], "PUT")?;
+        let created = resp.status.code() == 201;
+        self.remember_body(path, resp.headers.get("ETag"), body);
+        Ok(DeltaOutcome {
+            created,
+            bytes_sent: body.len() as u64,
+            bytes_total: body.len() as u64,
+            chunks_total: 0,
+            chunks_reused: 0,
+            full_fallback: true,
+        })
+    }
+
+    /// Seed the validating cache with a body we just wrote, keyed by the
+    /// ETag the server answered with — the base for future delta syncs.
+    fn remember_body(&self, path: &str, etag: Option<&str>, body: &[u8]) {
+        let (Some(cache), Some(etag)) = (&self.cache, etag) else {
+            return;
+        };
+        let cost = path.len() + etag.len() + body.len() + 64;
+        cache.bodies.insert(
+            path.to_owned(),
+            Arc::new(CachedBody { etag: etag.to_owned(), body: body.to_vec() }),
+            cost,
+        );
     }
 
     /// MKCOL a collection.

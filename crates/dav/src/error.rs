@@ -44,6 +44,13 @@ pub enum DavError {
     },
     /// Request body was not understood (422/400 class).
     BadRequest(String),
+    /// A resumable upload's `Content-Range` offset disagreed with the
+    /// server-side stage — answered 416 so the client can probe
+    /// `staged` and resume from the right byte.
+    StageMismatch {
+        /// Bytes the server has staged (the next expected offset).
+        staged: u64,
+    },
 }
 
 impl From<pse_http::Error> for DavError {
@@ -80,6 +87,7 @@ impl DavError {
             DavError::PreconditionFailed(_) => StatusCode::PRECONDITION_FAILED,
             DavError::PropertyTooLarge { .. } => StatusCode::ENTITY_TOO_LARGE,
             DavError::BadRequest(_) | DavError::Xml(_) => StatusCode::BAD_REQUEST,
+            DavError::StageMismatch { .. } => StatusCode::RANGE_NOT_SATISFIABLE,
             _ => StatusCode::INTERNAL_ERROR,
         }
     }
@@ -103,6 +111,9 @@ impl fmt::Display for DavError {
                 write!(f, "unexpected status {status} while {context}")
             }
             DavError::BadRequest(m) => write!(f, "bad request: {m}"),
+            DavError::StageMismatch { staged } => {
+                write!(f, "stage offset mismatch: server has {staged} bytes staged")
+            }
         }
     }
 }
@@ -127,6 +138,7 @@ mod tests {
             413
         );
         assert_eq!(DavError::BadRequest("x".into()).status().code(), 400);
+        assert_eq!(DavError::StageMismatch { staged: 7 }.status().code(), 416);
     }
 
     #[test]

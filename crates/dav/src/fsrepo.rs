@@ -35,11 +35,14 @@
 use crate::error::{DavError, Result};
 use crate::pathlock::{PathLockStats, PathLocks};
 use crate::property::{Property, PropertyName};
-use crate::repo::{check_copy_overlap, live_props_from_meta, PropPatchOp, Repository, ResourceMeta};
+use crate::repo::{
+    check_copy_overlap, live_props_from_meta, PropPatchOp, Repository, ResourceMeta, StageStatus,
+};
 use pse_cache::{CacheConfig, CacheStats, ShardedCache};
 use pse_dbm::{dbm_exists, open_dbm, remove_dbm, Dbm, DbmKind, StoreMode};
 use pse_http::uri::{normalize_path, parent_path};
 use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::SystemTime;
@@ -61,6 +64,9 @@ fn allocated_size(meta: &fs::Metadata) -> u64 {
 const DAV_DIR: &str = ".DAV";
 /// Property-database stem for the directory itself.
 const DIR_SELF: &str = "__dir__";
+/// Subdirectory of the root `.DAV` dir holding staged (resumable)
+/// uploads — invisible to listings like everything under `.DAV`.
+const STAGE_DIR: &str = "stage";
 /// Reserved DBM key holding the stored content type.
 const KEY_CONTENT_TYPE: &[u8] = b"\x01content-type";
 
@@ -390,6 +396,76 @@ impl FsRepository {
         let prefix = format!("{}/", norm.trim_end_matches('/'));
         self.prop_cache
             .invalidate_matching(|k| *k == norm || k.starts_with(&prefix));
+    }
+
+    /// Where the staged upload for `norm` keeps its bytes and its
+    /// declared total. One flat directory, with `/` and `%` in the DAV
+    /// path percent-escaped so distinct paths can never collide.
+    fn stage_paths(&self, norm: &str) -> (PathBuf, PathBuf) {
+        let mut key = String::with_capacity(norm.len());
+        for ch in norm.chars() {
+            match ch {
+                '%' => key.push_str("%25"),
+                '/' => key.push_str("%2F"),
+                _ => key.push(ch),
+            }
+        }
+        let dir = self.root.join(DAV_DIR).join(STAGE_DIR);
+        (dir.join(format!("{key}.data")), dir.join(format!("{key}.total")))
+    }
+
+    fn read_stage_total(total_path: &Path, norm: &str) -> Result<u64> {
+        fs::read_to_string(total_path)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| DavError::BadRequest(format!("corrupt stage record for {norm}")))
+    }
+
+    /// Validate the resumable-upload contract (offset == staged length,
+    /// total matches the recorded declaration, no write past the total)
+    /// and open the stage's data file positioned for appending
+    /// `add_len` more bytes. Creates the stage when `offset` is 0 and
+    /// none exists. Caller holds the path's exclusive lock.
+    fn stage_open_append(
+        &self,
+        norm: &str,
+        offset: u64,
+        total: u64,
+        add_len: u64,
+    ) -> Result<(fs::File, u64)> {
+        let (data_path, total_path) = self.stage_paths(norm);
+        let staged = match fs::metadata(&data_path) {
+            Ok(m) => {
+                let recorded = Self::read_stage_total(&total_path, norm)?;
+                if recorded != total {
+                    return Err(DavError::BadRequest(format!(
+                        "staged total is {recorded} bytes, request declared {total}"
+                    )));
+                }
+                m.len()
+            }
+            Err(_) => {
+                if offset != 0 {
+                    return Err(DavError::StageMismatch { staged: 0 });
+                }
+                if let Some(parent) = data_path.parent() {
+                    fs::create_dir_all(parent)?;
+                }
+                fs::write(&total_path, total.to_string())?;
+                fs::write(&data_path, b"")?;
+                0
+            }
+        };
+        if offset != staged {
+            return Err(DavError::StageMismatch { staged });
+        }
+        if staged.checked_add(add_len).map_or(true, |end| end > total) {
+            return Err(DavError::BadRequest(format!(
+                "append of {add_len} bytes at {staged} passes the declared total {total}"
+            )));
+        }
+        let f = fs::OpenOptions::new().append(true).open(&data_path)?;
+        Ok((f, staged))
     }
 
     /// Apply one PROPPATCH instruction to the property database,
@@ -779,6 +855,116 @@ impl Repository for FsRepository {
         let _g = self.locks.subtree_read();
         Self::du(&self.root)
     }
+
+    fn stage_status(&self, path: &str) -> Result<Option<StageStatus>> {
+        let norm = normalize_path(path);
+        let _g = self.locks.read(&norm);
+        let (data_path, total_path) = self.stage_paths(&norm);
+        match fs::metadata(&data_path) {
+            Ok(m) => Ok(Some(StageStatus {
+                staged: m.len(),
+                total: Self::read_stage_total(&total_path, &norm)?,
+            })),
+            Err(_) => Ok(None),
+        }
+    }
+
+    fn stage_append(&self, path: &str, offset: u64, total: u64, data: &[u8]) -> Result<StageStatus> {
+        let norm = normalize_path(path);
+        let _g = self.locks.write(&norm);
+        let (mut f, staged) = self.stage_open_append(&norm, offset, total, data.len() as u64)?;
+        f.write_all(data)?;
+        Ok(StageStatus {
+            staged: staged + data.len() as u64,
+            total,
+        })
+    }
+
+    fn stage_copy_from(
+        &self,
+        path: &str,
+        offset: u64,
+        total: u64,
+        src: &str,
+        src_start: u64,
+        src_len: u64,
+    ) -> Result<StageStatus> {
+        let norm = normalize_path(path);
+        let srcn = normalize_path(src);
+        // The copy_doc plan (src shared, dst exclusive) also covers
+        // src == dst: the plan merger collapses the pair to one
+        // exclusive hold, which is exactly what delta-syncing a
+        // resource against its own previous version needs.
+        let _g = self.locks.copy_doc(&srcn, &norm);
+        let sfs = self.check_exists(&srcn)?;
+        if sfs.is_dir() {
+            return Err(DavError::Conflict(format!("{srcn} is a collection")));
+        }
+        let mut sf = fs::File::open(&sfs)?;
+        let slen = sf.metadata()?.len();
+        if src_start.checked_add(src_len).map_or(true, |end| end > slen) {
+            return Err(DavError::BadRequest(format!(
+                "source range {src_start}+{src_len} exceeds {slen}-byte {srcn}"
+            )));
+        }
+        sf.seek(SeekFrom::Start(src_start))?;
+        let (mut f, staged) = self.stage_open_append(&norm, offset, total, src_len)?;
+        // Stream rather than buffer: unchanged-chunk runs in a delta
+        // sync of a trajectory file can be hundreds of megabytes.
+        let copied = std::io::copy(&mut (&mut sf).take(src_len), &mut f)?;
+        if copied != src_len {
+            return Err(DavError::BadRequest(format!(
+                "source {srcn} shrank during copy ({copied} of {src_len} bytes)"
+            )));
+        }
+        Ok(StageStatus {
+            staged: staged + src_len,
+            total,
+        })
+    }
+
+    fn stage_commit(&self, path: &str, content_type: Option<&str>) -> Result<bool> {
+        let norm = normalize_path(path);
+        let _g = self.locks.write_with_parent(&norm);
+        self.require_parent_unlocked(&norm)?;
+        let (data_path, total_path) = self.stage_paths(&norm);
+        let m = fs::metadata(&data_path)
+            .map_err(|_| DavError::Conflict(format!("no staged upload for {norm}")))?;
+        let total = Self::read_stage_total(&total_path, &norm)?;
+        if m.len() != total {
+            return Err(DavError::Conflict(format!(
+                "staged upload for {norm} incomplete: {} of {total} bytes",
+                m.len()
+            )));
+        }
+        let fsp = self.fs_path(&norm);
+        if fsp.is_dir() {
+            return Err(DavError::Conflict(format!("{norm} is a collection")));
+        }
+        let created = !fsp.exists();
+        // The stage lives on the same filesystem as the tree, so this
+        // rename is the atomic tmp+rename promote: readers see either
+        // the old body or the complete new one, never a prefix.
+        fs::rename(&data_path, &fsp)?;
+        let _ = fs::remove_file(&total_path);
+        if let Some(ct) = content_type {
+            let mut db = self
+                .open_props(&norm, true)?
+                .expect("create=true always yields a database");
+            db.store(KEY_CONTENT_TYPE, ct.as_bytes(), StoreMode::Replace)?;
+        }
+        self.invalidate_path(&norm);
+        Ok(created)
+    }
+
+    fn stage_abort(&self, path: &str) -> Result<()> {
+        let norm = normalize_path(path);
+        let _g = self.locks.write(&norm);
+        let (data_path, total_path) = self.stage_paths(&norm);
+        let _ = fs::remove_file(&data_path);
+        let _ = fs::remove_file(&total_path);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1116,6 +1302,94 @@ mod tests {
         assert_eq!(r.get("/c/doc2").unwrap(), b"hello");
         assert_eq!(r.get_prop("/c/doc2", &name).unwrap().unwrap().text_value(), "v");
         r.delete("/c").unwrap();
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn staged_upload_lifecycle_and_crash_resume() {
+        let (r, d) = repo(DbmKind::Gdbm);
+        r.mkcol("/traj").unwrap();
+        // Build a 10-byte body in two appends.
+        let s = r.stage_append("/traj/run.out", 0, 10, b"01234").unwrap();
+        assert_eq!((s.staged, s.total), (5, 10));
+        // Wrong offset reports how far the server got.
+        assert!(matches!(
+            r.stage_append("/traj/run.out", 3, 10, b"x"),
+            Err(DavError::StageMismatch { staged: 5 })
+        ));
+        // Commit of an incomplete stage refuses.
+        assert!(matches!(
+            r.stage_commit("/traj/run.out", None),
+            Err(DavError::Conflict(_))
+        ));
+
+        // "Crash": drop the repository and reopen over the same root —
+        // the file-backed stage survives and reports its progress.
+        drop(r);
+        let r = FsRepository::create(&d, FsConfig::default()).unwrap();
+        let s = r.stage_status("/traj/run.out").unwrap().unwrap();
+        assert_eq!((s.staged, s.total), (5, 10));
+        let s = r.stage_append("/traj/run.out", 5, 10, b"56789").unwrap();
+        assert_eq!((s.staged, s.total), (10, 10));
+        assert!(r.stage_commit("/traj/run.out", Some("text/plain")).unwrap());
+        assert_eq!(r.get("/traj/run.out").unwrap(), b"0123456789");
+        assert_eq!(
+            r.meta("/traj/run.out").unwrap().content_type.as_deref(),
+            Some("text/plain")
+        );
+        // The stage is consumed and the stage dir never shows in listings.
+        assert!(r.stage_status("/traj/run.out").unwrap().is_none());
+        assert!(r.list("/").unwrap().iter().all(|n| n != DAV_DIR));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn stage_copy_from_assembles_delta() {
+        let (r, d) = repo(DbmKind::Gdbm);
+        r.put("/doc", b"AAAABBBBCCCC", None).unwrap();
+        // New version: keep AAAA, replace BBBB with XYZW, keep CCCC —
+        // referencing the old version of the *same* path.
+        let s = r.stage_copy_from("/doc", 0, 12, "/doc", 0, 4).unwrap();
+        assert_eq!(s.staged, 4);
+        let s = r.stage_append("/doc", 4, 12, b"XYZW").unwrap();
+        assert_eq!(s.staged, 8);
+        let s = r.stage_copy_from("/doc", 8, 12, "/doc", 8, 4).unwrap();
+        assert_eq!(s.staged, 12);
+        assert!(!r.stage_commit("/doc", None).unwrap(), "replace, not create");
+        assert_eq!(r.get("/doc").unwrap(), b"AAAAXYZWCCCC");
+        // Out-of-bounds source range refuses.
+        assert!(matches!(
+            r.stage_copy_from("/other", 0, 4, "/doc", 10, 4),
+            Err(DavError::BadRequest(_))
+        ));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn stage_abort_and_guard_rails() {
+        let (r, d) = repo(DbmKind::Gdbm);
+        r.stage_append("/up", 0, 8, b"1234").unwrap();
+        r.stage_abort("/up").unwrap();
+        assert!(r.stage_status("/up").unwrap().is_none());
+        r.stage_abort("/up").unwrap(); // absent is fine
+        // Appending past the declared total refuses.
+        r.stage_append("/up", 0, 4, b"1234").unwrap();
+        assert!(matches!(
+            r.stage_append("/up", 4, 4, b"overflow"),
+            Err(DavError::BadRequest(_))
+        ));
+        // A different declared total refuses.
+        assert!(matches!(
+            r.stage_append("/up", 4, 9, b"x"),
+            Err(DavError::BadRequest(_))
+        ));
+        // Committing into a missing parent conflicts; the stage survives.
+        r.stage_append("/no/parent", 0, 1, b"z").unwrap();
+        assert!(matches!(
+            r.stage_commit("/no/parent", None),
+            Err(DavError::Conflict(_))
+        ));
+        assert!(r.stage_status("/no/parent").unwrap().is_some());
         fs::remove_dir_all(&d).unwrap();
     }
 

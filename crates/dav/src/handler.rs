@@ -13,7 +13,7 @@ use crate::lock::{LockManager, LockScope};
 use crate::multistatus::{Multistatus, PropStat};
 use crate::order;
 use crate::property::{Property, PropertyName, PropfindKind, DAV_NS};
-use crate::repo::{PropPatchOp, Repository};
+use crate::repo::{PropPatchOp, Repository, StageStatus};
 use crate::search;
 use crate::version::VersionStore;
 use pse_http::{Method, Request, Response, StatusCode};
@@ -146,7 +146,38 @@ impl<R: Repository> DavHandler<R> {
         };
         match result {
             Ok(resp) => resp,
-            Err(e) => Response::error(e.status(), &e.to_string()),
+            Err(e) => {
+                let status = e.status();
+                if status.code() == 412 || status.code() == 416 {
+                    // RFC 7232/7233: precondition and range failures
+                    // answer bodyless but carry the current validators
+                    // (and, for 416, the `bytes */N` probe form) so one
+                    // round trip is enough to resynchronise.
+                    let mut resp = Response::new(status);
+                    if let DavError::StageMismatch { staged } = &e {
+                        resp = resp.with_header("X-Staged-Bytes", staged.to_string());
+                    }
+                    if let Ok(meta) = self.repo.meta(req.target.path()) {
+                        if !meta.is_collection {
+                            resp = resp
+                                .with_header("ETag", meta.etag())
+                                .with_header(
+                                    "Last-Modified",
+                                    crate::repo::format_http_date(meta.modified),
+                                );
+                            if status.code() == 416 {
+                                resp = resp.with_header(
+                                    "Content-Range",
+                                    format!("bytes */{}", meta.content_length),
+                                );
+                            }
+                        }
+                    }
+                    resp
+                } else {
+                    Response::error(status, &e.to_string())
+                }
+            }
         }
     }
 
@@ -181,19 +212,61 @@ impl<R: Repository> DavHandler<R> {
                 .with_body(if head { Vec::new() } else { html.into_bytes() }));
         }
         let etag = meta.etag();
+        let last_modified = crate::repo::format_http_date(meta.modified);
         if not_modified(req, &etag, Some(meta.modified)) {
             return Ok(Response::new(StatusCode::NOT_MODIFIED)
                 .with_header("ETag", etag)
-                .with_header("Last-Modified", crate::repo::format_http_date(meta.modified)));
+                .with_header("Last-Modified", last_modified));
         }
         let body = self.repo.get(path)?;
+        let total = body.len() as u64;
+        // Range handling (RFC 7233): GET only (Range on any other
+        // method is ignored), single ranges only — a malformed or
+        // multi-range header parses to None and the full entity is
+        // served, the spec's ignore-don't-error posture.
+        if !head {
+            if let Some(spec) = req.headers.get("Range").and_then(pse_http::range::parse_range) {
+                if if_range_fresh(req, &etag, meta.modified) {
+                    match pse_http::range::resolve(spec, total) {
+                        pse_http::range::ResolvedRange::Satisfiable { start, end } => {
+                            return Ok(Response::new(StatusCode::PARTIAL_CONTENT)
+                                .with_header(
+                                    "Content-Type",
+                                    meta.content_type
+                                        .as_deref()
+                                        .unwrap_or("application/octet-stream"),
+                                )
+                                .with_header("ETag", etag)
+                                .with_header("Last-Modified", last_modified)
+                                .with_header("Accept-Ranges", "bytes")
+                                .with_header(
+                                    "Content-Range",
+                                    format!("bytes {start}-{end}/{total}"),
+                                )
+                                .with_body(body[start as usize..=end as usize].to_vec()));
+                        }
+                        pse_http::range::ResolvedRange::Unsatisfiable => {
+                            // Bodyless, but with validators and the
+                            // `bytes */N` probe form so the client can
+                            // recompute a satisfiable range.
+                            return Ok(Response::new(StatusCode::RANGE_NOT_SATISFIABLE)
+                                .with_header("ETag", etag)
+                                .with_header("Last-Modified", last_modified)
+                                .with_header("Accept-Ranges", "bytes")
+                                .with_header("Content-Range", format!("bytes */{total}")));
+                        }
+                    }
+                }
+            }
+        }
         let mut resp = Response::ok()
             .with_header(
                 "Content-Type",
                 meta.content_type.as_deref().unwrap_or("application/octet-stream"),
             )
             .with_header("ETag", etag)
-            .with_header("Last-Modified", crate::repo::format_http_date(meta.modified));
+            .with_header("Last-Modified", last_modified)
+            .with_header("Accept-Ranges", "bytes");
         if !head {
             resp = resp.with_body(body);
         }
@@ -221,8 +294,11 @@ impl<R: Repository> DavHandler<R> {
                     .map(|m| m.etag())
                     .unwrap_or_default()
             });
-            // The parser strips the surrounding quotes from `["..."]`.
-            if claimed.trim_start_matches("W/") != etag.trim_matches('"') {
+            // State-changing condition → strong comparison (RFC 7232
+            // §2.1): a weak `W/` tag never authorises the write. The If
+            // parser strips the surrounding quotes from `["..."]`;
+            // etag_matches normalises the rest.
+            if !etag_matches(claimed, etag, true) {
                 return Err(DavError::PreconditionFailed(format!(
                     "If header entity tag \"{claimed}\" does not match {etag}"
                 )));
@@ -237,9 +313,11 @@ impl<R: Repository> DavHandler<R> {
         // stored entity; If-None-Match (typically `*`) must not.
         let current_etag = self.repo.meta(path).ok().map(|m| m.etag());
         if let Some(im) = req.headers.get("If-Match") {
+            // Strong comparison (RFC 7232 §3.1): a weak tag can never
+            // prove the stored entity is byte-identical.
             let ok = current_etag
                 .as_deref()
-                .is_some_and(|etag| etag_list_matches(im, etag));
+                .is_some_and(|etag| etag_list_matches(im, etag, true));
             if !ok {
                 return Err(DavError::PreconditionFailed(
                     "If-Match: stored entity tag differs".into(),
@@ -247,23 +325,119 @@ impl<R: Repository> DavHandler<R> {
             }
         }
         if let (Some(inm), Some(etag)) = (req.headers.get("If-None-Match"), &current_etag) {
-            if etag_list_matches(inm, etag) {
+            if etag_list_matches(inm, etag, false) {
                 return Err(DavError::PreconditionFailed(
                     "If-None-Match: the resource already exists".into(),
                 ));
             }
         }
         self.check_lock(req, path)?;
+        if req.headers.get("Content-Range").is_some() || req.headers.get("X-Copy-From").is_some() {
+            return self.put_partial(req, path);
+        }
         let created = self
             .repo
             .put(path, &req.body, req.headers.get("Content-Type"))?;
         // Auto-version: record the new content on versioned resources.
         self.versions.record_put(path, &req.body);
-        Ok(if created {
+        self.put_response(path, created)
+    }
+
+    /// Success response for a PUT (or a committed staged upload): the
+    /// new entity's validators ride along so a client can go straight
+    /// into conditional requests without a revalidating GET.
+    fn put_response(&self, path: &str, created: bool) -> Result<Response> {
+        let mut resp = if created {
             Response::created()
         } else {
             Response::no_content()
-        })
+        };
+        if let Ok(meta) = self.repo.meta(path) {
+            resp = resp
+                .with_header("ETag", meta.etag())
+                .with_header("Last-Modified", crate::repo::format_http_date(meta.modified));
+        }
+        Ok(resp)
+    }
+
+    /// Resumable / delta PUT. `Content-Range: bytes a-b/N` appends the
+    /// body into the staged upload for `path` at offset `a`;
+    /// `X-Copy-From: bytes=s-e` (same Content-Range contract, empty
+    /// body) appends bytes `s..=e` of the *stored* entity instead — the
+    /// server-side copy that lets delta sync reference unchanged
+    /// chunks. `Content-Range: bytes */N` with an empty body probes
+    /// progress (adding `X-Stage-Abort` instead discards the stage so a
+    /// client can restart from byte zero). The stage auto-commits (atomic rename) when it
+    /// reaches its declared total; until then the answer is 202 with
+    /// `X-Staged-Bytes`. An offset that disagrees with the stage
+    /// surfaces as 416 + `X-Staged-Bytes` via [`DavError::StageMismatch`].
+    fn put_partial(&self, req: &Request, path: &str) -> Result<Response> {
+        let header = req.headers.get("Content-Range").ok_or_else(|| {
+            DavError::BadRequest("X-Copy-From requires a Content-Range header".into())
+        })?;
+        let (range, total) = pse_http::range::parse_content_range(header)
+            .ok_or_else(|| DavError::BadRequest(format!("unparseable Content-Range {header:?}")))?;
+        let status = match (range, req.headers.get("X-Copy-From")) {
+            (None, None) => {
+                if !req.body.is_empty() {
+                    return Err(DavError::BadRequest(
+                        "a Content-Range: bytes */N probe takes no body".into(),
+                    ));
+                }
+                if req.headers.get("X-Stage-Abort").is_some() {
+                    // Probe + abort: discard any stale stage so a client
+                    // can restart an upload from byte zero.
+                    self.repo.stage_abort(path)?;
+                    return Ok(Response::no_content()
+                        .with_header("X-Staged-Bytes", "0")
+                        .with_header("X-Staged-Total", total.to_string()));
+                }
+                self.repo
+                    .stage_status(path)?
+                    .unwrap_or(StageStatus { staged: 0, total })
+            }
+            (Some((a, b)), None) => {
+                if req.body.len() as u64 != b - a + 1 {
+                    return Err(DavError::BadRequest(format!(
+                        "Content-Range bytes {a}-{b} disagrees with the {}-byte body",
+                        req.body.len()
+                    )));
+                }
+                self.repo.stage_append(path, a, total, &req.body)?
+            }
+            (Some((a, b)), Some(copy)) => {
+                if !req.body.is_empty() {
+                    return Err(DavError::BadRequest(
+                        "an X-Copy-From request takes no body".into(),
+                    ));
+                }
+                let (s, e) = parse_copy_from(copy)?;
+                if e - s != b - a {
+                    return Err(DavError::BadRequest(format!(
+                        "X-Copy-From bytes {s}-{e} disagrees with Content-Range bytes {a}-{b}"
+                    )));
+                }
+                self.repo
+                    .stage_copy_from(path, a, total, path, s, e - s + 1)?
+            }
+            (None, Some(_)) => {
+                return Err(DavError::BadRequest(
+                    "X-Copy-From needs an explicit Content-Range (bytes a-b/N)".into(),
+                ))
+            }
+        };
+        if range.is_some() && status.staged == status.total {
+            let created = self
+                .repo
+                .stage_commit(path, req.headers.get("Content-Type"))?;
+            if let Ok(body) = self.repo.get(path) {
+                self.versions.record_put(path, &body);
+            }
+            return self.put_response(path, created);
+        }
+        Ok(Response::new(StatusCode::ACCEPTED)
+            .with_header("X-Staged-Bytes", status.staged.to_string())
+            .with_header("X-Staged-Total", status.total.to_string()))
     }
 
     fn delete(&self, req: &Request) -> Result<Response> {
@@ -484,7 +658,7 @@ impl<R: Repository> DavHandler<R> {
         // with If-None-Match instead of re-fetching the XML.
         let state_etag = self.propfind_state_etag(&paths, &kind, depth)?;
         if let Some(inm) = req.headers.get("If-None-Match") {
-            if etag_list_matches(inm, &state_etag) {
+            if etag_list_matches(inm, &state_etag, false) {
                 return Ok(
                     Response::new(StatusCode::NOT_MODIFIED).with_header("ETag", state_etag)
                 );
@@ -686,14 +860,77 @@ impl<R: Repository> DavHandler<R> {
     }
 }
 
+/// Parse an `X-Copy-From: bytes=s-e` header into its inclusive byte
+/// pair. Unlike `Range`, a malformed value here is a hard 400 — the
+/// request is a write and silently ignoring the header would corrupt
+/// the staged upload.
+fn parse_copy_from(value: &str) -> Result<(u64, u64)> {
+    let bad = || DavError::BadRequest(format!("unparseable X-Copy-From {value:?}"));
+    let spec = value.trim().strip_prefix("bytes=").ok_or_else(bad)?;
+    let (s, e) = spec.split_once('-').ok_or_else(bad)?;
+    let s: u64 = s.trim().parse().map_err(|_| bad())?;
+    let e: u64 = e.trim().parse().map_err(|_| bad())?;
+    if s > e {
+        return Err(bad());
+    }
+    Ok((s, e))
+}
+
+/// RFC 7232 §2.3.2 entity-tag comparison. `claimed` comes off the wire
+/// (quoted or bare, possibly `W/`-prefixed); `stored` is the
+/// repository's etag, which is a *strong* validator (see
+/// [`crate::repo::ResourceMeta::etag`]). Strong comparison — required
+/// for If-Match, If-Range, and If-header conditions — never matches a
+/// weak claimed tag; weak comparison ignores weakness on either side.
+/// Quoting is normalised on both sides, so `abc`, `"abc"`, and
+/// `W/"abc"` all name the same opaque value.
+fn etag_matches(claimed: &str, stored: &str, strong: bool) -> bool {
+    let claimed = claimed.trim();
+    let (claimed_weak, claimed) = match claimed.strip_prefix("W/") {
+        Some(rest) => (true, rest),
+        None => (false, claimed),
+    };
+    if strong && claimed_weak {
+        return false;
+    }
+    let stored = stored.trim().trim_start_matches("W/");
+    claimed.trim_matches('"') == stored.trim_matches('"')
+}
+
 /// Does a comma-separated `If-Match`/`If-None-Match` list name `etag`?
-/// `*` matches anything; `W/` prefixes are stripped (weak comparison —
-/// our etags are weak validators already, as mod_dav's were).
-fn etag_list_matches(header: &str, etag: &str) -> bool {
+/// `*` matches anything; individual tags compare via [`etag_matches`]
+/// with the caller's strength (If-Match demands strong comparison,
+/// If-None-Match allows weak).
+fn etag_list_matches(header: &str, etag: &str, strong: bool) -> bool {
     header.split(',').any(|t| {
         let t = t.trim();
-        t == "*" || t.trim_start_matches("W/") == etag
+        t == "*" || etag_matches(t, etag, strong)
     })
+}
+
+/// RFC 7233 §3.2 `If-Range`: apply the Range only while the validator
+/// still names the stored entity — otherwise serve the full 200 so a
+/// client resuming a download against a changed file never splices two
+/// versions together. Entity tags compare *strongly* (`W/` never
+/// matches); a date validator matches only the exact Last-Modified
+/// instant (second granularity, the precision HTTP dates carry).
+fn if_range_fresh(req: &Request, etag: &str, modified: std::time::SystemTime) -> bool {
+    let Some(v) = req.headers.get("If-Range") else {
+        return true;
+    };
+    let v = v.trim();
+    if v.starts_with('"') || v.starts_with("W/") {
+        return etag_matches(v, etag, true);
+    }
+    let secs = |t: std::time::SystemTime| {
+        t.duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    };
+    match crate::repo::parse_http_date(v) {
+        Some(t) => secs(t) == secs(modified),
+        None => false,
+    }
 }
 
 /// Should a GET/HEAD answer 304? `If-None-Match` wins when present;
@@ -701,7 +938,7 @@ fn etag_list_matches(header: &str, etag: &str) -> bool {
 /// dates carry no sub-second precision (RFC 2616 §14.25).
 fn not_modified(req: &Request, etag: &str, modified: Option<std::time::SystemTime>) -> bool {
     if let Some(inm) = req.headers.get("If-None-Match") {
-        return etag_list_matches(inm, etag);
+        return etag_list_matches(inm, etag, false);
     }
     if let (Some(ims), Some(modified)) = (req.headers.get("If-Modified-Since"), modified) {
         if let Some(since) = crate::repo::parse_http_date(ims) {
@@ -1211,6 +1448,252 @@ mod tests {
         );
         assert_eq!(resp.status.code(), 207);
         assert_ne!(resp.headers.get("etag"), Some(etag.as_str()));
+    }
+
+    #[test]
+    fn weak_and_quoted_etag_forms_compare_correctly() {
+        let h = handler();
+        h.handle(req(Method::Put, "/doc").with_body("v1"));
+        let etag = h.handle(req(Method::Get, "/doc")).headers.get("etag").unwrap().to_owned();
+
+        // If-Match is a strong comparison: W/"current" must NOT match,
+        // even though the opaque value is right (RFC 7232 §3.1).
+        let weak = format!("W/{etag}");
+        let resp = h.handle(req(Method::Put, "/doc").with_header("If-Match", &weak).with_body("x"));
+        assert_eq!(resp.status.code(), 412, "weak tag authorised a write");
+        assert_eq!(h.handle(req(Method::Get, "/doc")).body_text(), "v1");
+        // Quoted and bare forms of the real tag both match. (Each PUT
+        // moves the etag, so refetch between attempts.)
+        let resp = h.handle(req(Method::Put, "/doc").with_header("If-Match", &etag).with_body("v1"));
+        assert_eq!(resp.status.code(), 204, "quoted {etag:?} should match");
+        let bare = h
+            .handle(req(Method::Get, "/doc"))
+            .headers
+            .get("etag")
+            .unwrap()
+            .trim_matches('"')
+            .to_owned();
+        let resp = h.handle(req(Method::Put, "/doc").with_header("If-Match", &bare).with_body("v1"));
+        assert_eq!(resp.status.code(), 204, "bare {bare:?} should match");
+        // List form: the current tag hiding behind strangers still matches.
+        let etag = h.handle(req(Method::Get, "/doc")).headers.get("etag").unwrap().to_owned();
+        let list = format!("\"zz\", W/\"yy\", {etag}");
+        let resp = h.handle(req(Method::Put, "/doc").with_header("If-Match", &list).with_body("v1"));
+        assert_eq!(resp.status.code(), 204);
+        // A list of only weak/wrong tags does not.
+        let resp = h.handle(
+            req(Method::Put, "/doc")
+                .with_header("If-Match", format!("\"zz\", W/{}", h.handle(req(Method::Get, "/doc")).headers.get("etag").unwrap()))
+                .with_body("x"),
+        );
+        assert_eq!(resp.status.code(), 412);
+
+        // If-header `[...]` conditions are strong too.
+        let etag = h.handle(req(Method::Get, "/doc")).headers.get("etag").unwrap().to_owned();
+        let resp = h.handle(
+            req(Method::Put, "/doc")
+                .with_header("If", format!("([W/{etag}])"))
+                .with_body("x"),
+        );
+        assert_eq!(resp.status.code(), 412, "weak tag passed an If condition");
+        // If-None-Match stays weak: W/"current" still revalidates a GET.
+        let resp = h.handle(req(Method::Get, "/doc").with_header("If-None-Match", format!("W/{etag}")));
+        assert_eq!(resp.status.code(), 304);
+    }
+
+    #[test]
+    fn precondition_failures_are_bodyless_with_validators() {
+        let h = handler();
+        h.handle(req(Method::Put, "/doc").with_body("content"));
+        let resp = h.handle(
+            req(Method::Put, "/doc").with_header("If-Match", "\"stale\"").with_body("x"),
+        );
+        assert_eq!(resp.status.code(), 412);
+        assert!(resp.body.is_empty(), "412 must not carry a body");
+        assert!(resp.headers.get("etag").is_some());
+        assert!(resp.headers.get("last-modified").is_some());
+    }
+
+    #[test]
+    fn range_get_matrix() {
+        let h = handler();
+        h.handle(req(Method::Put, "/d").with_header("Content-Type", "text/plain").with_body("0123456789"));
+
+        // Plain GET/HEAD advertise byte ranges.
+        let resp = h.handle(req(Method::Get, "/d"));
+        assert_eq!(resp.headers.get("accept-ranges"), Some("bytes"));
+        let resp = h.handle(req(Method::Head, "/d"));
+        assert_eq!(resp.headers.get("accept-ranges"), Some("bytes"));
+
+        // Single range → 206 with exact framing.
+        let resp = h.handle(req(Method::Get, "/d").with_header("Range", "bytes=2-5"));
+        assert_eq!(resp.status.code(), 206);
+        assert_eq!(resp.body_text(), "2345");
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 2-5/10"));
+        assert_eq!(resp.headers.get("content-type"), Some("text/plain"));
+        assert!(resp.headers.get("etag").is_some());
+
+        // Open-ended, suffix, and off-by-one at EOF.
+        let resp = h.handle(req(Method::Get, "/d").with_header("Range", "bytes=7-"));
+        assert_eq!((resp.status.code(), resp.body_text()), (206, "789".into()));
+        let resp = h.handle(req(Method::Get, "/d").with_header("Range", "bytes=-3"));
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 7-9/10"));
+        let resp = h.handle(req(Method::Get, "/d").with_header("Range", "bytes=9-9"));
+        assert_eq!((resp.status.code(), resp.body_text()), (206, "9".into()));
+        // End past EOF clamps rather than erroring.
+        let resp = h.handle(req(Method::Get, "/d").with_header("Range", "bytes=8-99"));
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 8-9/10"));
+        // A suffix longer than the file is the whole file.
+        let resp = h.handle(req(Method::Get, "/d").with_header("Range", "bytes=-999"));
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 0-9/10"));
+
+        // Unsatisfiable → 416, bodyless, with validators and */N.
+        let resp = h.handle(req(Method::Get, "/d").with_header("Range", "bytes=10-"));
+        assert_eq!(resp.status.code(), 416);
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.headers.get("content-range"), Some("bytes */10"));
+        assert!(resp.headers.get("etag").is_some());
+        assert!(resp.headers.get("last-modified").is_some());
+
+        // Malformed, multi-range, inverted, non-bytes: ignored → 200.
+        for bad in ["bytes=5-2", "bytes=1-2,4-5", "chunks=1-2", "bytes=x-y", "garbage"] {
+            let resp = h.handle(req(Method::Get, "/d").with_header("Range", bad));
+            assert_eq!(resp.status.code(), 200, "Range {bad:?} must be ignored");
+            assert_eq!(resp.body_text(), "0123456789");
+        }
+        // Range on HEAD is ignored.
+        let resp = h.handle(req(Method::Head, "/d").with_header("Range", "bytes=2-5"));
+        assert_eq!(resp.status.code(), 200);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn if_range_gates_partial_responses() {
+        let h = handler();
+        h.handle(req(Method::Put, "/d").with_body("0123456789"));
+        let resp = h.handle(req(Method::Get, "/d"));
+        let etag = resp.headers.get("etag").unwrap().to_owned();
+        let lm = resp.headers.get("last-modified").unwrap().to_owned();
+
+        // Fresh etag → 206; stale etag → full 200; weak form of the
+        // current etag → full 200 (strong comparison required).
+        let get = |ir: &str| h.handle(
+            req(Method::Get, "/d").with_header("Range", "bytes=0-3").with_header("If-Range", ir),
+        );
+        assert_eq!(get(&etag).status.code(), 206);
+        assert_eq!(get("\"stale\"").status.code(), 200);
+        assert_eq!(get(&format!("W/{etag}")).status.code(), 200);
+        // Date forms: the reported Last-Modified matches, older does not.
+        assert_eq!(get(&lm).status.code(), 206);
+        assert_eq!(get("Thu, 01 Jan 1970 00:00:00 GMT").status.code(), 200);
+        assert_eq!(get("not a date").status.code(), 200);
+    }
+
+    #[test]
+    fn resumable_put_protocol() {
+        let h = handler();
+        h.handle(req(Method::MkCol, "/c"));
+
+        // First chunk: 202 + progress headers.
+        let resp = h.handle(
+            req(Method::Put, "/c/big")
+                .with_header("Content-Range", "bytes 0-4/10")
+                .with_body("01234"),
+        );
+        assert_eq!(resp.status.code(), 202);
+        assert_eq!(resp.headers.get("x-staged-bytes"), Some("5"));
+        assert_eq!(resp.headers.get("x-staged-total"), Some("10"));
+        // Nothing visible yet.
+        assert_eq!(h.handle(req(Method::Get, "/c/big")).status.code(), 404);
+
+        // Probe after a "crash": bytes */N with empty body.
+        let resp = h.handle(
+            req(Method::Put, "/c/big").with_header("Content-Range", "bytes */10"),
+        );
+        assert_eq!(resp.status.code(), 202);
+        assert_eq!(resp.headers.get("x-staged-bytes"), Some("5"));
+
+        // Wrong offset → 416 + X-Staged-Bytes, stage intact.
+        let resp = h.handle(
+            req(Method::Put, "/c/big")
+                .with_header("Content-Range", "bytes 9-9/10")
+                .with_body("9"),
+        );
+        assert_eq!(resp.status.code(), 416);
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.headers.get("x-staged-bytes"), Some("5"));
+
+        // Body length disagreeing with Content-Range → 400.
+        let resp = h.handle(
+            req(Method::Put, "/c/big")
+                .with_header("Content-Range", "bytes 5-9/10")
+                .with_body("56"),
+        );
+        assert_eq!(resp.status.code(), 400);
+
+        // Final chunk completes the total → auto-commit → 201 + ETag.
+        let resp = h.handle(
+            req(Method::Put, "/c/big")
+                .with_header("Content-Range", "bytes 5-9/10")
+                .with_header("Content-Type", "text/plain")
+                .with_body("56789"),
+        );
+        assert_eq!(resp.status.code(), 201);
+        assert!(resp.headers.get("etag").is_some());
+        let resp = h.handle(req(Method::Get, "/c/big"));
+        assert_eq!(resp.body_text(), "0123456789");
+        assert_eq!(resp.headers.get("content-type"), Some("text/plain"));
+    }
+
+    #[test]
+    fn delta_put_via_x_copy_from() {
+        let h = handler();
+        h.handle(req(Method::Put, "/doc").with_body("AAAABBBBCCCC"));
+        let etag = h.handle(req(Method::Get, "/doc")).headers.get("etag").unwrap().to_owned();
+
+        // Reuse bytes 0-3 of the stored entity, upload 4 new bytes,
+        // reuse bytes 8-11 — guarded by If-Match on the base version.
+        let resp = h.handle(
+            req(Method::Put, "/doc")
+                .with_header("If-Match", &etag)
+                .with_header("Content-Range", "bytes 0-3/12")
+                .with_header("X-Copy-From", "bytes=0-3"),
+        );
+        assert_eq!(resp.status.code(), 202);
+        let resp = h.handle(
+            req(Method::Put, "/doc")
+                .with_header("If-Match", &etag)
+                .with_header("Content-Range", "bytes 4-7/12")
+                .with_body("XYZW"),
+        );
+        assert_eq!(resp.status.code(), 202);
+        let resp = h.handle(
+            req(Method::Put, "/doc")
+                .with_header("If-Match", &etag)
+                .with_header("Content-Range", "bytes 8-11/12")
+                .with_header("X-Copy-From", "bytes=8-11"),
+        );
+        assert_eq!(resp.status.code(), 204, "complete → committed in place");
+        assert_eq!(h.handle(req(Method::Get, "/doc")).body_text(), "AAAAXYZWCCCC");
+
+        // Guard rails: copy-from length mismatch and missing
+        // Content-Range are hard 400s.
+        assert_eq!(
+            h.handle(
+                req(Method::Put, "/doc")
+                    .with_header("Content-Range", "bytes 0-3/8")
+                    .with_header("X-Copy-From", "bytes=0-5"),
+            )
+            .status
+            .code(),
+            400
+        );
+        assert_eq!(
+            h.handle(req(Method::Put, "/other").with_header("X-Copy-From", "bytes=0-3"))
+                .status
+                .code(),
+            400
+        );
     }
 
     #[test]

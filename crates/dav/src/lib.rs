@@ -46,6 +46,7 @@
 //! srv.shutdown();
 //! ```
 
+pub mod cdc;
 pub mod client;
 pub mod depth;
 pub mod error;

@@ -14,7 +14,9 @@
 use crate::error::{DavError, Result};
 use crate::pathlock::PathLocks;
 use crate::property::{Property, PropertyName};
-use crate::repo::{check_copy_overlap, live_props_from_meta, PropPatchOp, Repository, ResourceMeta};
+use crate::repo::{
+    check_copy_overlap, live_props_from_meta, PropPatchOp, Repository, ResourceMeta, StageStatus,
+};
 use parking_lot::Mutex;
 use pse_http::uri::{normalize_path, parent_path};
 use std::collections::{BTreeMap, HashMap};
@@ -54,10 +56,21 @@ impl MemNode {
     }
 }
 
+/// An in-progress resumable upload (see the `stage_*` trait methods).
+#[derive(Debug, Default)]
+struct MemStage {
+    data: Vec<u8>,
+    total: u64,
+}
+
 /// A heap-backed DAV repository.
 #[derive(Debug)]
 pub struct MemRepository {
     nodes: Mutex<HashMap<String, MemNode>>,
+    /// Staged (resumable) uploads by target path — separate from the
+    /// node table so an abandoned stage never shadows a live resource.
+    /// Lock order where both are held: `stages` before `nodes`.
+    stages: Mutex<HashMap<String, MemStage>>,
     locks: PathLocks,
 }
 
@@ -67,6 +80,7 @@ impl Default for MemRepository {
     fn default() -> MemRepository {
         MemRepository {
             nodes: Mutex::new(HashMap::new()),
+            stages: Mutex::new(HashMap::new()),
             locks: PathLocks::new(crate::pathlock::DEFAULT_SHARDS, false),
         }
     }
@@ -88,6 +102,7 @@ impl MemRepository {
     pub fn with_locks(shards: usize, global: bool) -> MemRepository {
         let repo = MemRepository {
             nodes: Mutex::new(HashMap::new()),
+            stages: Mutex::new(HashMap::new()),
             locks: PathLocks::new(shards, global),
         };
         repo.nodes
@@ -166,6 +181,53 @@ impl MemRepository {
             nodes.insert(format!("{dst}{suffix}"), node);
         }
         Ok(!existed)
+    }
+
+    /// Enforce the resumable-upload contract (offset == staged length,
+    /// consistent total, no write past the total) and append `data` to
+    /// the stage for `path`, creating it when `offset` is 0. Caller
+    /// holds the path's exclusive lock.
+    fn stage_append_in(
+        stages: &mut HashMap<String, MemStage>,
+        path: &str,
+        offset: u64,
+        total: u64,
+        data: &[u8],
+    ) -> Result<StageStatus> {
+        if !stages.contains_key(path) {
+            if offset != 0 {
+                return Err(DavError::StageMismatch { staged: 0 });
+            }
+            stages.insert(
+                path.to_owned(),
+                MemStage {
+                    data: Vec::new(),
+                    total,
+                },
+            );
+        }
+        let stage = stages.get_mut(path).expect("present or just inserted");
+        if stage.total != total {
+            return Err(DavError::BadRequest(format!(
+                "staged total is {} bytes, request declared {total}",
+                stage.total
+            )));
+        }
+        let staged = stage.data.len() as u64;
+        if offset != staged {
+            return Err(DavError::StageMismatch { staged });
+        }
+        if staged + data.len() as u64 > total {
+            return Err(DavError::BadRequest(format!(
+                "append of {} bytes at {staged} passes the declared total {total}",
+                data.len()
+            )));
+        }
+        stage.data.extend_from_slice(data);
+        Ok(StageStatus {
+            staged: stage.data.len() as u64,
+            total,
+        })
     }
 }
 
@@ -442,6 +504,110 @@ impl Repository for MemRepository {
         Ok(())
     }
 
+    fn stage_status(&self, path: &str) -> Result<Option<StageStatus>> {
+        let path = normalize_path(path);
+        let _g = self.locks.read(&path);
+        Ok(self.stages.lock().get(&path).map(|s| StageStatus {
+            staged: s.data.len() as u64,
+            total: s.total,
+        }))
+    }
+
+    fn stage_append(&self, path: &str, offset: u64, total: u64, data: &[u8]) -> Result<StageStatus> {
+        let path = normalize_path(path);
+        let _g = self.locks.write(&path);
+        Self::stage_append_in(&mut self.stages.lock(), &path, offset, total, data)
+    }
+
+    fn stage_copy_from(
+        &self,
+        path: &str,
+        offset: u64,
+        total: u64,
+        src: &str,
+        src_start: u64,
+        src_len: u64,
+    ) -> Result<StageStatus> {
+        let path = normalize_path(path);
+        let srcn = normalize_path(src);
+        // copy_doc also covers src == path: the plan merger collapses
+        // the pair to one exclusive hold, so delta-syncing a resource
+        // against its own previous version cannot deadlock.
+        let _g = self.locks.copy_doc(&srcn, &path);
+        let chunk = {
+            let nodes = self.nodes.lock();
+            let n = nodes
+                .get(&srcn)
+                .ok_or_else(|| DavError::NotFound(srcn.clone()))?;
+            if n.is_collection {
+                return Err(DavError::Conflict(format!("{srcn} is a collection")));
+            }
+            let slen = n.data.len() as u64;
+            if src_start.checked_add(src_len).map_or(true, |end| end > slen) {
+                return Err(DavError::BadRequest(format!(
+                    "source range {src_start}+{src_len} exceeds {slen}-byte {srcn}"
+                )));
+            }
+            n.data[src_start as usize..(src_start + src_len) as usize].to_vec()
+        };
+        Self::stage_append_in(&mut self.stages.lock(), &path, offset, total, &chunk)
+    }
+
+    fn stage_commit(&self, path: &str, content_type: Option<&str>) -> Result<bool> {
+        let path = normalize_path(path);
+        let _g = self.locks.write_with_parent(&path);
+        // Lock order: stages before nodes (documented on the field).
+        let mut stages = self.stages.lock();
+        let mut nodes = self.nodes.lock();
+        let stage = stages
+            .get(&path)
+            .ok_or_else(|| DavError::Conflict(format!("no staged upload for {path}")))?;
+        if stage.data.len() as u64 != stage.total {
+            return Err(DavError::Conflict(format!(
+                "staged upload for {path} incomplete: {} of {} bytes",
+                stage.data.len(),
+                stage.total
+            )));
+        }
+        Self::require_parent_in(&nodes, &path)?;
+        if nodes.get(&path).map(|n| n.is_collection).unwrap_or(false) {
+            return Err(DavError::Conflict(format!("{path} is a collection")));
+        }
+        let data = stages.remove(&path).expect("checked above").data;
+        let now = SystemTime::now();
+        match nodes.get_mut(&path) {
+            Some(n) => {
+                n.data = data;
+                n.modified = now;
+                if content_type.is_some() {
+                    n.content_type = content_type.map(str::to_owned);
+                }
+                Ok(false)
+            }
+            None => {
+                nodes.insert(
+                    path,
+                    MemNode {
+                        is_collection: false,
+                        data,
+                        content_type: content_type.map(str::to_owned),
+                        created: now,
+                        modified: now,
+                        props: BTreeMap::new(),
+                    },
+                );
+                Ok(true)
+            }
+        }
+    }
+
+    fn stage_abort(&self, path: &str) -> Result<()> {
+        let path = normalize_path(path);
+        let _g = self.locks.write(&path);
+        self.stages.lock().remove(&path);
+        Ok(())
+    }
+
     fn disk_usage(&self) -> Result<u64> {
         let _g = self.locks.subtree_read();
         let nodes = self.nodes.lock();
@@ -638,6 +804,38 @@ mod tests {
         .unwrap();
         assert!(r.get_prop("/d", &a).unwrap().is_none());
         assert_eq!(r.get_prop("/d", &b).unwrap().unwrap().text_value(), "bv");
+    }
+
+    #[test]
+    fn staged_uploads_mirror_fs_semantics() {
+        let r = MemRepository::new();
+        r.put("/doc", b"AAAABBBBCCCC", None).unwrap();
+        // Delta: reuse AAAA, send XYZW, reuse CCCC.
+        r.stage_copy_from("/doc", 0, 12, "/doc", 0, 4).unwrap();
+        r.stage_append("/doc", 4, 12, b"XYZW").unwrap();
+        // Wrong offset reports server progress; mismatched total refuses.
+        assert!(matches!(
+            r.stage_append("/doc", 6, 12, b"x"),
+            Err(DavError::StageMismatch { staged: 8 })
+        ));
+        assert!(matches!(
+            r.stage_append("/doc", 8, 99, b"x"),
+            Err(DavError::BadRequest(_))
+        ));
+        // Incomplete commit refuses and the stage survives.
+        assert!(matches!(r.stage_commit("/doc", None), Err(DavError::Conflict(_))));
+        r.stage_copy_from("/doc", 8, 12, "/doc", 8, 4).unwrap();
+        assert!(!r.stage_commit("/doc", None).unwrap());
+        assert_eq!(r.get("/doc").unwrap(), b"AAAAXYZWCCCC");
+        assert!(r.stage_status("/doc").unwrap().is_none());
+        // Fresh-create path and abort.
+        r.stage_append("/new", 0, 3, b"abc").unwrap();
+        assert!(r.stage_commit("/new", Some("text/plain")).unwrap());
+        assert_eq!(r.meta("/new").unwrap().content_type.as_deref(), Some("text/plain"));
+        r.stage_append("/gone", 0, 5, b"xx").unwrap();
+        r.stage_abort("/gone").unwrap();
+        assert!(r.stage_status("/gone").unwrap().is_none());
+        assert!(!r.exists("/gone"));
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct ResourceMeta {
 }
 
 impl ResourceMeta {
-    /// A weak entity tag derived from length and mtime, as Apache does.
+    /// The entity tag: length + nanosecond mtime, as Apache derives it.
+    /// Emitted *without* a `W/` prefix — nanosecond granularity means
+    /// two different bodies can't share a tag within an observable
+    /// window, so it is a strong validator and legal for `If-Match`/
+    /// `If-Range` strong comparison (RFC 7232 §2.1).
     pub fn etag(&self) -> String {
         let secs = self
             .modified
@@ -56,6 +60,16 @@ pub fn check_copy_overlap(src: &str, dst: &str) -> Result<()> {
         )));
     }
     Ok(())
+}
+
+/// Progress of a staged (resumable) upload: how far a partial PUT has
+/// got towards its declared total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStatus {
+    /// Bytes staged so far — the next expected write offset.
+    pub staged: u64,
+    /// Declared total size of the finished upload.
+    pub total: u64,
 }
 
 /// One PROPPATCH instruction, in document order (RFC 2518 §8.2).
@@ -132,6 +146,66 @@ pub trait Repository: Send + Sync + 'static {
     /// Total bytes the repository occupies on disk (data + metadata) —
     /// the figure the §3.2.4 migration study compares across backends.
     fn disk_usage(&self) -> Result<u64>;
+
+    // ---- staged (resumable) uploads -------------------------------
+    //
+    // A staged upload accumulates a new body for `path` out of band:
+    // sequential `stage_append`/`stage_copy_from` calls build it up,
+    // and `stage_commit` promotes it atomically (tmp+rename style)
+    // into the live resource. Backends without support inherit the
+    // refusing defaults; the handler maps the refusal to 400.
+
+    /// Progress of the staged upload for `path`, `None` when nothing is
+    /// staged. The default (no staging support) reports nothing staged.
+    fn stage_status(&self, _path: &str) -> Result<Option<StageStatus>> {
+        Ok(None)
+    }
+
+    /// Append `data` to the staged upload for `path` at byte `offset`.
+    /// `offset` must equal the currently staged length (0 starts a new
+    /// stage) and `total` must match the stage's declared total, else
+    /// [`DavError::StageMismatch`] reports the server-side length so
+    /// the client can resynchronise.
+    fn stage_append(&self, _path: &str, _offset: u64, _total: u64, _data: &[u8]) -> Result<StageStatus> {
+        Err(DavError::BadRequest(
+            "resumable uploads not supported by this repository".into(),
+        ))
+    }
+
+    /// Append `src_len` bytes starting at `src_start` of the *committed*
+    /// resource at `src` to the staged upload for `path` — the
+    /// server-side copy primitive delta sync uses to reference
+    /// unchanged chunks without resending them. Same offset contract as
+    /// [`stage_append`](Repository::stage_append).
+    fn stage_copy_from(
+        &self,
+        _path: &str,
+        _offset: u64,
+        _total: u64,
+        _src: &str,
+        _src_start: u64,
+        _src_len: u64,
+    ) -> Result<StageStatus> {
+        Err(DavError::BadRequest(
+            "resumable uploads not supported by this repository".into(),
+        ))
+    }
+
+    /// Atomically promote the completed stage into the live resource
+    /// (create or replace, like [`put`](Repository::put)). Fails with
+    /// `Conflict` when the stage is incomplete (`staged != total`) or
+    /// the parent collection is missing. Returns `true` when the
+    /// resource was created fresh.
+    fn stage_commit(&self, _path: &str, _content_type: Option<&str>) -> Result<bool> {
+        Err(DavError::BadRequest(
+            "resumable uploads not supported by this repository".into(),
+        ))
+    }
+
+    /// Discard any staged upload for `path` (absent is not an error).
+    fn stage_abort(&self, _path: &str) -> Result<()> {
+        Ok(())
+    }
 
     /// The protocol-computed ("live") properties of a resource.
     fn live_props(&self, path: &str) -> Result<Vec<Property>> {

@@ -16,6 +16,7 @@
 
 use crate::auth::Credentials;
 use crate::error::{Error, Result};
+use crate::gzip;
 use crate::message::{Request, Response};
 use crate::method::Method;
 use crate::retry::RetryPolicy;
@@ -59,6 +60,10 @@ pub struct Client {
     retries: u64,
     /// Resolved retry-path metrics (no-ops until [`Client::set_registry`]).
     obs: ClientObs,
+    /// Advertise `Accept-Encoding: gzip` and transparently decode gzip
+    /// response bodies (off by default so byte-level tests and benches
+    /// see identity payloads).
+    accept_gzip: bool,
     /// Maximum 307/308 hops to follow transparently (0 = surface the
     /// redirect response to the caller, the default).
     follow_redirects: u32,
@@ -108,6 +113,7 @@ impl Client {
             connects: 0,
             retries: 0,
             obs: ClientObs::resolve(&Registry::disabled()),
+            accept_gzip: false,
             follow_redirects: 0,
             redirect_pool: HashMap::new(),
         };
@@ -150,6 +156,15 @@ impl Client {
     /// The active retry policy.
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.retry
+    }
+
+    /// Opt in to the `gzip` content-coding: every request advertises
+    /// `Accept-Encoding: gzip` and a `Content-Encoding: gzip` response
+    /// body is decoded transparently (a corrupt encoded body surfaces
+    /// as a transport [`Error::Parse`], which the retry policy treats
+    /// as transient for idempotent methods).
+    pub fn set_accept_gzip(&mut self, on: bool) {
+        self.accept_gzip = on;
     }
 
     /// TCP connections opened so far.
@@ -235,6 +250,7 @@ impl Client {
             sub.set_limits(self.limits);
             sub.set_retry_policy(self.retry.clone());
             sub.set_policy(self.policy);
+            sub.set_accept_gzip(self.accept_gzip);
             self.redirect_pool.insert(authority.to_owned(), sub);
         }
         Ok(self.redirect_pool.get_mut(authority).expect("just inserted"))
@@ -247,6 +263,9 @@ impl Client {
     fn send_once(&mut self, mut req: Request) -> Result<Response> {
         if let Some(c) = &self.credentials {
             req.headers.set("Authorization", c.to_header_value());
+        }
+        if self.accept_gzip && req.headers.get("Accept-Encoding").is_none() {
+            req.headers.set("Accept-Encoding", "gzip");
         }
         if self.policy == ConnectionPolicy::CloseEveryRequest {
             req.headers.set("Connection", "close");
@@ -325,7 +344,7 @@ impl Client {
             let mut reader = BufReader::new(stream.try_clone()?);
             if let Ok(resp) = wire::read_response(&mut reader, &req.method, &self.limits) {
                 self.stream = None; // connection is done either way
-                return Ok(resp);
+                return self.decode_body(resp);
             }
             self.stream = None;
             return Err(write_result.expect_err("checked is_err"));
@@ -337,7 +356,34 @@ impl Client {
         {
             self.stream = None;
         }
-        Ok(resp)
+        self.decode_body(resp)
+    }
+
+    /// Undo a `gzip` content-coding on the response body. Framing was
+    /// already consumed from the wire byte-exactly (Content-Length
+    /// counts *encoded* bytes), so a decode failure poisons only this
+    /// response, never the connection state — but we drop the
+    /// connection anyway to force the retry onto a fresh exchange.
+    fn decode_body(&mut self, mut resp: Response) -> Result<Response> {
+        let coded = resp
+            .headers
+            .get("Content-Encoding")
+            .is_some_and(|e| e.trim().eq_ignore_ascii_case("gzip"));
+        if !coded {
+            return Ok(resp);
+        }
+        match gzip::decompress(&resp.body, self.limits.max_body) {
+            Ok(body) => {
+                resp.body = body;
+                resp.headers.remove("Content-Encoding");
+                resp.headers.set("Content-Length", &resp.body.len().to_string());
+                Ok(resp)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(Error::Parse(format!("gzip response body: {e}")))
+            }
+        }
     }
 
     /// Convenience GET.
@@ -531,6 +577,69 @@ mod tests {
         assert_eq!(snap.counter("http.client.retries"), 2);
         assert_eq!(snap.counter("http.client.backoff_sleeps"), 2);
         assert_eq!(snap.counter("http.client.maybe_executed"), 0);
+    }
+
+    #[test]
+    fn gzip_negotiation_roundtrip() {
+        // Big compressible body: encoded on the wire, identity at the
+        // API on both ends.
+        let payload = "coordinates 0.000 0.957 1.514 ".repeat(1000);
+        let echo = payload.clone();
+        let s = Server::bind("127.0.0.1:0", ServerConfig::default(), move |req: Request| {
+            if req.method == Method::Put {
+                // The engine must have decoded the request body.
+                assert!(req.headers.get("Content-Encoding").is_none());
+                Response::ok().with_body(req.body)
+            } else {
+                Response::ok().with_body(echo.clone().into_bytes())
+            }
+        })
+        .unwrap();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        c.set_accept_gzip(true);
+        let resp = c.get("/traj").unwrap();
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(resp.body_text(), payload);
+        assert!(resp.headers.get("Content-Encoding").is_none());
+
+        // Uploads can pre-code their body; the server engine inflates
+        // it before the handler runs.
+        let req = Request::new(Method::Put, "/up")
+            .with_body(crate::gzip::compress(payload.as_bytes()))
+            .with_header("Content-Encoding", "gzip");
+        let resp = c.send(req).unwrap();
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(resp.body_text(), payload);
+        s.shutdown();
+    }
+
+    #[test]
+    fn gzip_small_and_incoded_bodies_stay_identity() {
+        let s = Server::bind("127.0.0.1:0", ServerConfig::default(), |_req| {
+            Response::ok().with_body("tiny")
+        })
+        .unwrap();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        c.set_accept_gzip(true);
+        let resp = c.get("/t").unwrap();
+        assert_eq!(resp.body_text(), "tiny");
+        s.shutdown();
+    }
+
+    #[test]
+    fn corrupt_gzip_request_body_is_400() {
+        let s = Server::bind("127.0.0.1:0", ServerConfig::default(), |_req| Response::ok()).unwrap();
+        let mut c = Client::connect(s.local_addr()).unwrap();
+        let req = Request::new(Method::Put, "/up")
+            .with_body(b"definitely not gzip".to_vec())
+            .with_header("Content-Encoding", "gzip");
+        assert_eq!(c.send(req).unwrap().status.code(), 400);
+        // An unknown coding is refused as unsupported, not mangled.
+        let req = Request::new(Method::Put, "/up")
+            .with_body(b"x".to_vec())
+            .with_header("Content-Encoding", "br");
+        assert_eq!(c.send(req).unwrap().status.code(), 415);
+        s.shutdown();
     }
 
     #[test]

@@ -577,6 +577,59 @@ mod tests {
     }
 
     #[test]
+    fn gzip_coded_exchanges_survive_truncation_and_corruption() {
+        // A gzip body that loses its tail must surface as a transport
+        // error and a retry — never decode into silently-short data.
+        let payload = "the quick brown fox jumps over the lazy dog ".repeat(100);
+        let s = {
+            let payload = payload.clone();
+            Server::bind("127.0.0.1:0", ServerConfig::default(), move |req: Request| {
+                if req.method == crate::Method::Put {
+                    // Echo the (already transparently decoded) body so
+                    // the torn-request leg can verify the round trip.
+                    Response::ok().with_body(req.body)
+                } else {
+                    Response::ok().with_body(payload.as_bytes().to_vec())
+                }
+            })
+            .unwrap()
+        };
+        let proxy = FaultProxy::start(
+            s.local_addr(),
+            Schedule::Script(vec![
+                Fault::Truncate(40),
+                Fault::Corrupt,
+                Fault::None,
+                Fault::Reset(Point::MidRequest),
+            ]),
+        )
+        .unwrap();
+        let mut c = Client::connect(proxy.addr()).unwrap();
+        c.set_accept_gzip(true);
+        c.set_retry_policy(fast_policy());
+
+        // Truncated gzip response → retried → exact plaintext.
+        assert_eq!(c.get("/traj").unwrap().body_text(), payload);
+        assert_eq!(proxy.stats().fired_count("truncate"), 1);
+        // Corrupted status line in front of a gzip body → same story.
+        assert_eq!(c.get("/traj").unwrap().body_text(), payload);
+        assert_eq!(proxy.stats().fired_count("corrupt"), 1);
+        // A gzip request body torn mid-flight: PUT is idempotent, so the
+        // client replays it and the server decodes the intact copy.
+        let resp = c
+            .send(
+                Request::new(crate::Method::Put, "/echo")
+                    .with_body(crate::gzip::compress(payload.as_bytes()))
+                    .with_header("Content-Encoding", "gzip"),
+            )
+            .unwrap();
+        assert_eq!(resp.body_text(), payload);
+        assert_eq!(proxy.stats().fired_count("reset@mid-request"), 1);
+        proxy.shutdown();
+        s.shutdown();
+    }
+
+    #[test]
     fn random_schedule_is_reproducible() {
         let sched = || Schedule::Random {
             seed: 99,

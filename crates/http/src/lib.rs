@@ -27,7 +27,13 @@
 //!   client applies to transport failures;
 //! * [`fault`] — a deterministic fault-injecting TCP proxy (resets,
 //!   delays, truncation, corruption) used by the robustness suite to
-//!   exercise the retry policy.
+//!   exercise the retry policy;
+//! * [`gzip`] — zero-dependency `gzip` content-coding (RFC 1952/1951)
+//!   negotiated per request by the server engine and client; bodies are
+//!   encoded before serialisation so `Content-Length` frames the encoded
+//!   length exactly in both server cores;
+//! * [`range`] — RFC 7233 `Range`/`Content-Range` parsing shared by the
+//!   DAV layer's partial GET and resumable PUT paths.
 //!
 //! The DAV layer (`pse-dav`) sits directly on these types; nothing here
 //! knows anything about DAV beyond allowing extension methods.
@@ -51,10 +57,12 @@ pub mod client;
 mod conn;
 pub mod error;
 pub mod fault;
+pub mod gzip;
 pub mod headers;
 pub mod message;
 pub mod method;
 pub mod poll;
+pub mod range;
 mod reactor;
 pub mod retry;
 pub mod server;

@@ -39,6 +39,7 @@
 
 use crate::auth::UserStore;
 use crate::error::{Error, Result};
+use crate::gzip;
 use crate::message::{Request, Response};
 use crate::method::Method;
 use crate::status::StatusCode;
@@ -249,7 +250,7 @@ impl Engine {
             }
             match &self.config.auth {
                 Some(store) => match store.authenticate(req.headers.get("Authorization")) {
-                    Some(_) => (self.handler)(req),
+                    Some(_) => self.dispatch(req, head_only),
                     None => {
                         self.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
                         obs.counter("http.auth_failures").inc();
@@ -257,7 +258,7 @@ impl Engine {
                             .with_header("WWW-Authenticate", store.challenge())
                     }
                 },
-                None => (self.handler)(req),
+                None => self.dispatch(req, head_only),
             }
         };
         let mut close = client_wants_close || budget_exhausted;
@@ -273,6 +274,57 @@ impl Engine {
             trace_what,
             started,
         }
+    }
+
+    /// Handler dispatch wrapped in `gzip` content-coding negotiation
+    /// (RFC 7231 §3.1.2): a gzip request body is decoded before the
+    /// handler sees it (post-auth, so anonymous clients cannot feed the
+    /// inflater), and the response body is compressed when the client's
+    /// `Accept-Encoding` allows it and compression actually pays.
+    /// Coding is applied *here*, before serialisation, so the
+    /// `Content-Length` both cores emit frames the encoded bytes
+    /// exactly — keep-alive framing cannot drift between modes.
+    fn dispatch(&self, mut req: Request, head_only: bool) -> Response {
+        let accepts_gzip = accept_encoding_allows_gzip(req.headers.get("Accept-Encoding"));
+        match req.headers.get("Content-Encoding").map(str::trim) {
+            None => {}
+            Some(enc) if enc.eq_ignore_ascii_case("identity") => {}
+            Some(enc) if enc.eq_ignore_ascii_case("gzip") => {
+                match gzip::decompress(&req.body, self.config.limits.max_body) {
+                    Ok(body) => {
+                        self.obs.counter("http.gzip.requests_decoded").inc();
+                        req.headers.remove("Content-Encoding");
+                        req.body = body;
+                        req.headers.set("Content-Length", &req.body.len().to_string());
+                    }
+                    Err(e) => {
+                        return Response::error(
+                            StatusCode::BAD_REQUEST,
+                            &format!("bad gzip request body: {e}"),
+                        );
+                    }
+                }
+            }
+            Some(enc) => {
+                return Response::error(
+                    StatusCode::UNSUPPORTED_MEDIA_TYPE,
+                    &format!("unsupported content-coding {enc:?}"),
+                );
+            }
+        }
+        let mut resp = (self.handler)(req);
+        if accepts_gzip && !head_only && compressible(&resp) {
+            let encoded = gzip::compress(&resp.body);
+            // Keep the identity body when compression does not shrink
+            // it (already-compressed payloads, tiny bodies).
+            if encoded.len() < resp.body.len() {
+                self.obs.counter("http.gzip.responses_encoded").inc();
+                resp.body = encoded;
+                resp.headers.set("Content-Encoding", "gzip");
+                resp.headers.append("Vary", "Accept-Encoding");
+            }
+        }
+        resp
     }
 
     /// Record the completed exchange: latency, status class, trace.
@@ -292,6 +344,42 @@ impl Engine {
             });
         }
     }
+}
+
+/// Bodies below this are not worth a gzip member's ~18-byte overhead
+/// plus the CPU.
+const MIN_GZIP_BODY: usize = 256;
+
+/// Does an `Accept-Encoding` header admit gzip? Token scan with
+/// q-value awareness: `gzip;q=0` is an explicit refusal.
+fn accept_encoding_allows_gzip(header: Option<&str>) -> bool {
+    let Some(header) = header else { return false };
+    header.split(',').any(|part| {
+        let mut pieces = part.split(';');
+        let coding = pieces.next().unwrap_or("").trim();
+        if !coding.eq_ignore_ascii_case("gzip") && coding != "*" {
+            return false;
+        }
+        for param in pieces {
+            if let Some(q) = param.trim().strip_prefix("q=") {
+                return q.trim().parse::<f64>().map(|q| q > 0.0).unwrap_or(false);
+            }
+        }
+        true
+    })
+}
+
+/// Is this response eligible for transparent compression? Bodyless
+/// statuses are excluded by construction; 206 is excluded because its
+/// `Content-Range` describes identity bytes and coding the slice would
+/// break client-side reassembly; pre-coded responses are left alone.
+fn compressible(resp: &Response) -> bool {
+    let code = resp.status.code();
+    resp.status.is_success()
+        && code != 204
+        && code != 206
+        && resp.body.len() >= MIN_GZIP_BODY
+        && resp.headers.get("Content-Encoding").is_none()
 }
 
 /// Worker-pool bookkeeping for the threaded core, exported as gauges

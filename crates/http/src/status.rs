@@ -11,8 +11,13 @@ impl StatusCode {
     pub const OK: StatusCode = StatusCode(200);
     /// 201 Created
     pub const CREATED: StatusCode = StatusCode(201);
+    /// 202 Accepted (a staged partial upload was recorded but the
+    /// resource is not complete yet)
+    pub const ACCEPTED: StatusCode = StatusCode(202);
     /// 204 No Content
     pub const NO_CONTENT: StatusCode = StatusCode(204);
+    /// 206 Partial Content (RFC 7233 range response)
+    pub const PARTIAL_CONTENT: StatusCode = StatusCode(206);
     /// 207 Multi-Status (RFC 2518)
     pub const MULTI_STATUS: StatusCode = StatusCode(207);
     /// 301 Moved Permanently
@@ -43,6 +48,8 @@ impl StatusCode {
     pub const ENTITY_TOO_LARGE: StatusCode = StatusCode(413);
     /// 415 Unsupported Media Type
     pub const UNSUPPORTED_MEDIA_TYPE: StatusCode = StatusCode(415);
+    /// 416 Range Not Satisfiable (RFC 7233; carries `Content-Range: bytes */N`)
+    pub const RANGE_NOT_SATISFIABLE: StatusCode = StatusCode(416);
     /// 422 Unprocessable Entity (RFC 2518)
     pub const UNPROCESSABLE: StatusCode = StatusCode(422);
     /// 423 Locked (RFC 2518)
@@ -106,6 +113,7 @@ impl StatusCode {
             412 => "Precondition Failed",
             413 => "Request Entity Too Large",
             415 => "Unsupported Media Type",
+            416 => "Range Not Satisfiable",
             422 => "Unprocessable Entity",
             423 => "Locked",
             424 => "Failed Dependency",

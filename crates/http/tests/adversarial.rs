@@ -233,3 +233,64 @@ fn chunked_upload_across_segments() {
         server.shutdown();
     });
 }
+
+#[test]
+fn bodyless_statuses_frame_byte_exactly_for_pipelining() {
+    use pse_http::StatusCode;
+    both_modes(|mode| {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            },
+            |req: Request| match req.target.path() {
+                "/304" => Response::new(StatusCode::NOT_MODIFIED).with_header("ETag", "\"v1\""),
+                "/412" => {
+                    Response::new(StatusCode::PRECONDITION_FAILED).with_header("ETag", "\"v1\"")
+                }
+                "/416" => Response::new(StatusCode::RANGE_NOT_SATISFIABLE)
+                    .with_header("Content-Range", "bytes */99"),
+                "/206" => Response::new(StatusCode::PARTIAL_CONTENT)
+                    .with_header("Content-Range", "bytes 0-3/99")
+                    .with_body(b"abcd".to_vec()),
+                _ => Response::ok().with_body(b"tail".to_vec()),
+            },
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        // All five requests in one segment. If any bodyless response
+        // were framed with a phantom body (or a body without its
+        // Content-Length), every later response would shift or stall.
+        s.write_all(
+            b"GET /304 HTTP/1.1\r\n\r\nGET /412 HTTP/1.1\r\n\r\nGET /416 HTTP/1.1\r\n\r\n\
+              GET /206 HTTP/1.1\r\n\r\nGET /tail HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        for (status, header, body) in [
+            ("304", "etag: \"v1\"", b"".as_slice()),
+            ("412", "etag: \"v1\"", b"".as_slice()),
+            ("416", "content-range: bytes */99", b"".as_slice()),
+            ("206", "content-range: bytes 0-3/99", b"abcd".as_slice()),
+            ("200", "content-length: 4", b"tail".as_slice()),
+        ] {
+            let (head, got) = read_response(&mut s);
+            assert!(
+                head.starts_with(&format!("HTTP/1.1 {status}")),
+                "{mode:?}: {head}"
+            );
+            assert!(
+                head.to_ascii_lowercase().contains(header),
+                "{mode:?}: missing {header:?} in {head}"
+            );
+            assert_eq!(got, body, "{mode:?} /{status}");
+            if body.is_empty() {
+                assert!(
+                    head.to_ascii_lowercase().contains("content-length: 0"),
+                    "{mode:?}: bodyless {status} must declare Content-Length: 0: {head}"
+                );
+            }
+        }
+        server.shutdown();
+    });
+}

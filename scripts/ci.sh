@@ -32,17 +32,25 @@
 #    compaction, and repro_cluster --check (read throughput must rise
 #    monotonically 1 -> 2 -> 4 replicas with zero failover errors).
 #    PSE_CLUSTER_OPS / PSE_CLUSTER_THREADS are honoured when set.
+# 9. With --bulk: the bulk-transfer gate — range/conditional-request/
+#    resumable-PUT/delta-sync suites (pse-dav bulk tests + handler
+#    range matrix), the gzip fault-injection round trip, and
+#    repro_table2 --delta --check (a 1% edit re-PUT must move >= 10x
+#    fewer bytes on the wire than the full PUT), emitting
+#    target/bench-json/bulk.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STRESS=0
 C10K=0
 CLUSTER=0
+BULK=0
 for arg in "$@"; do
     case "$arg" in
         --stress) STRESS=1 ;;
         --c10k) C10K=1 ;;
         --cluster) CLUSTER=1 ;;
+        --bulk) BULK=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -113,6 +121,19 @@ if [ "$CLUSTER" = 1 ]; then
     echo "==> cluster gate: repro_cluster --check (monotonic read scaling + clean failover)"
     cargo build --release -p pse-bench --bin repro_cluster
     ./target/release/repro_cluster --check
+fi
+
+if [ "$BULK" = 1 ]; then
+    echo "==> bulk gate: range GET / resumable PUT / delta sync suites"
+    cargo test -q -p pse-dav --test bulk
+    cargo test -q -p pse-dav --lib -- range_get_matrix if_range_gates_partial_responses \
+        resumable_put_protocol delta_put_via_x_copy_from \
+        weak_and_quoted_etag_forms_compare_correctly
+    echo "==> bulk gate: gzip through the fault proxy"
+    cargo test -q -p pse-http --lib gzip_coded_exchanges_survive_truncation_and_corruption
+    echo "==> bulk gate: repro_table2 --delta --check (>= 10x wire-byte reduction)"
+    cargo build --release -p pse-bench --bin repro_table2
+    ./target/release/repro_table2 --delta --check
 fi
 
 echo "==> ci OK"
