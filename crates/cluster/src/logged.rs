@@ -295,6 +295,10 @@ impl<R: Repository> Repository for LoggedRepository<R> {
     fn walk(&self, path: &str, max_depth: Option<u32>, visit: &mut dyn FnMut(&str)) -> Result<()> {
         self.inner.walk(path, max_depth, visit)
     }
+
+    fn index_probe(&self, probe: &pse_dav::propindex::Probe) -> Option<Vec<String>> {
+        self.inner.index_probe(probe)
+    }
 }
 
 #[cfg(test)]

@@ -513,6 +513,9 @@ mod tests {
     fn read_write_method_split() {
         assert!(is_read_method(&Method::Get));
         assert!(is_read_method(&Method::PropFind));
+        // SEARCH mutates nothing — replicas must absorb query load, not
+        // bounce it to the primary.
+        assert!(is_read_method(&Method::Search));
         assert!(is_read_method(&Method::Report));
         assert!(!is_read_method(&Method::Put));
         assert!(!is_read_method(&Method::Move));

@@ -918,10 +918,57 @@ impl DavClient {
 
     /// DASL SEARCH with a raw `searchrequest` body.
     pub fn search_raw(&mut self, body: &str) -> Result<Multistatus> {
+        Ok(self.search_raw_paged(body)?.0)
+    }
+
+    /// DASL SEARCH returning the continuation cursor a `DAV:limit`ed
+    /// query carries in `X-Search-Cursor` (`None` = no further pages).
+    pub fn search_raw_paged(&mut self, body: &str) -> Result<(Multistatus, Option<String>)> {
         let req = Request::new(Method::Search, "/").with_xml_body(body);
         let resp = self.http.send(req)?;
         let resp = self.expect(resp, &[207], "SEARCH")?;
-        self.parse_multistatus(&resp)
+        let cursor = resp
+            .headers
+            .get(crate::search::CURSOR_HEADER)
+            .map(str::to_owned);
+        Ok((self.parse_multistatus(&resp)?, cursor))
+    }
+
+    /// SEARCH for resources where `name` equals `value` under `scope`,
+    /// fetching matches `page_size` at a time until the server's cursor
+    /// runs dry. Bounded memory per round trip regardless of match count.
+    pub fn search_eq_paged(
+        &mut self,
+        scope: &str,
+        name: &PropertyName,
+        value: &str,
+        page_size: usize,
+    ) -> Result<Vec<String>> {
+        let mut hrefs = Vec::new();
+        let mut cursor: Option<String> = None;
+        loop {
+            let cursor_elem = cursor
+                .as_deref()
+                .map(|c| format!("<D:cursor>{c}</D:cursor>"))
+                .unwrap_or_default();
+            let body = format!(
+                r#"<D:searchrequest xmlns:D="DAV:" xmlns:q="{ns}"><D:basicsearch>
+                  <D:from><D:scope><D:href>{scope}</D:href></D:scope></D:from>
+                  <D:where><D:eq><D:prop><q:{local}/></D:prop><D:literal>{value}</D:literal></D:eq></D:where>
+                  <D:limit><D:nresults>{page_size}</D:nresults></D:limit>
+                  {cursor_elem}
+                </D:basicsearch></D:searchrequest>"#,
+                ns = name.namespace,
+                local = name.local,
+                value = pse_xml::escape::escape_text(value),
+            );
+            let (ms, next) = self.search_raw_paged(&body)?;
+            hrefs.extend(ms.responses.into_iter().map(|r| r.href));
+            match next {
+                Some(c) => cursor = Some(c),
+                None => return Ok(hrefs),
+            }
+        }
     }
 
     /// SEARCH for resources where `name` equals `value`, under `scope`.

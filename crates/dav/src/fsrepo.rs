@@ -35,6 +35,7 @@
 use crate::error::{DavError, Result};
 use crate::pathlock::{PathLockStats, PathLocks};
 use crate::property::{Property, PropertyName};
+use crate::propindex::{IndexStats, Probe, PropIndex};
 use crate::repo::{
     check_copy_overlap, live_props_from_meta, PropPatchOp, Repository, ResourceMeta, StageStatus,
 };
@@ -67,6 +68,9 @@ const DIR_SELF: &str = "__dir__";
 /// Subdirectory of the root `.DAV` dir holding staged (resumable)
 /// uploads — invisible to listings like everything under `.DAV`.
 const STAGE_DIR: &str = "stage";
+/// Subdirectory of the root `.DAV` dir holding the persistent property
+/// index (snapshot + journal; see [`crate::propindex`]).
+const INDEX_DIR: &str = "index";
 /// Reserved DBM key holding the stored content type.
 const KEY_CONTENT_TYPE: &[u8] = b"\x01content-type";
 
@@ -142,6 +146,11 @@ pub struct FsRepository {
     /// shard's write lock, so a stale snapshot can never be re-inserted
     /// over a newer state.
     prop_cache: Arc<ShardedCache<String, Arc<PropSnapshot>>>,
+    /// Secondary property index for SEARCH, updated at every mutation
+    /// point under the same lock plans that keep `prop_cache` coherent
+    /// and persisted under `<root>/.DAV/index/`. A leaf lock: its
+    /// internal mutex is never held while acquiring a path lock.
+    index: PropIndex,
 }
 
 impl FsRepository {
@@ -153,12 +162,55 @@ impl FsRepository {
             config.property_cache_bytes,
         )));
         let locks = Arc::new(PathLocks::new(config.lock_shards, config.global_lock));
-        Ok(FsRepository {
+        let (index, rebuild) = PropIndex::open(&root.join(DAV_DIR).join(INDEX_DIR));
+        let repo = FsRepository {
             root,
             config,
             locks,
             prop_cache,
-        })
+            index,
+        };
+        if rebuild {
+            // Missing or corrupt index files: the DBM property databases
+            // are the source of truth, so re-derive the whole index.
+            repo.rebuild_index()?;
+        }
+        Ok(repo)
+    }
+
+    /// Re-derive the index from the on-disk property databases and
+    /// persist a fresh snapshot. Runs at construction (before the
+    /// repository is shared); callers invoking it on a live repository
+    /// must exclude writers themselves.
+    pub fn rebuild_index(&self) -> Result<()> {
+        let mut paths = Vec::new();
+        self.walk("/", None, &mut |p| paths.push(p.to_owned()))?;
+        for path in paths {
+            // A resource without a property database costs nothing here.
+            let _ = self.reindex_path(&path);
+        }
+        self.index.compact();
+        Ok(())
+    }
+
+    /// Replace the index entries for `path` with what its property
+    /// database holds right now. The caller holds at least a read lock
+    /// on the path (or has exclusive access to the repository).
+    fn reindex_path(&self, norm: &str) -> Result<()> {
+        let snap = self.snapshot(norm)?;
+        let mut entries = Vec::with_capacity(snap.props.len());
+        for (name, data) in &snap.props {
+            if let Ok(p) = Property::from_storage(name.clone(), data) {
+                entries.push((name.clone(), p.text_value()));
+            }
+        }
+        self.index.set_path(norm, &entries);
+        Ok(())
+    }
+
+    /// Property-index probe counters.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
     }
 
     /// The configured DBM engine.
@@ -620,6 +672,7 @@ impl Repository for FsRepository {
                 self.delete_doc_props(&norm)?;
             }
             self.invalidate_tree(&norm);
+            self.index.remove_tree(&norm);
             return Ok(());
         }
     }
@@ -658,6 +711,8 @@ impl Repository for FsRepository {
                 self.copy_doc_props(&src, &dst)?;
             }
             self.invalidate_tree(&dst);
+            self.index.remove_tree(&dst);
+            self.index.copy_tree(&src, &dst);
             return Ok(!existed);
         }
     }
@@ -702,6 +757,8 @@ impl Repository for FsRepository {
             }
             self.invalidate_tree(&srcn);
             self.invalidate_tree(&dstn);
+            self.index.remove_tree(&dstn);
+            self.index.move_tree(&srcn, &dstn);
             return Ok(!existed);
         }
     }
@@ -792,6 +849,7 @@ impl Repository for FsRepository {
             .expect("create=true always yields a database");
         db.store(&prop.name.storage_key(), &stored, StoreMode::Replace)?;
         self.invalidate_path(&norm);
+        self.index.set(&norm, &prop.name, &prop.text_value());
         Ok(())
     }
 
@@ -805,6 +863,7 @@ impl Repository for FsRepository {
         let removed = db.delete(&name.storage_key())?;
         if removed {
             self.invalidate_path(&norm);
+            self.index.remove(&norm, name);
         }
         Ok(removed)
     }
@@ -830,7 +889,19 @@ impl Repository for FsRepository {
             }
         }
         let result = match failure {
-            None => Ok(()),
+            None => {
+                // The patch landed: mirror each instruction into the
+                // index (values are already in hand — no extra DBM open).
+                for op in ops {
+                    match op {
+                        PropPatchOp::Set(p) => {
+                            self.index.set(&norm, &p.name, &p.text_value());
+                        }
+                        PropPatchOp::Remove(name) => self.index.remove(&norm, name),
+                    }
+                }
+                Ok(())
+            }
             Some(fail) => {
                 // Roll back in reverse order; the database must exist if
                 // anything was journalled.
@@ -848,6 +919,12 @@ impl Repository for FsRepository {
             }
         };
         self.invalidate_path(&norm);
+        if result.is_err() {
+            // Rollback best-effort may have left the database anywhere
+            // between old and new: re-derive this path's entries from
+            // what is actually stored (still under the exclusive lock).
+            let _ = self.reindex_path(&norm);
+        }
         result
     }
 
@@ -964,6 +1041,10 @@ impl Repository for FsRepository {
         let _ = fs::remove_file(&data_path);
         let _ = fs::remove_file(&total_path);
         Ok(())
+    }
+
+    fn index_probe(&self, probe: &Probe) -> Option<Vec<String>> {
+        self.index.probe(probe)
     }
 }
 

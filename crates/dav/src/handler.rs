@@ -120,6 +120,12 @@ impl<R: Repository> DavHandler<R> {
     }
 
     fn dispatch(&self, req: Request) -> Response {
+        // The JSON gateway owns its URL prefix outright — before method
+        // dispatch, so the routes behave identically under every core
+        // that embeds this handler.
+        if let Some(resp) = crate::gateway::intercept(self.repo.as_ref(), &req) {
+            return resp;
+        }
         let result = match req.method {
             Method::Options => self.options(&req),
             Method::Get => self.get(&req, false),

@@ -51,6 +51,7 @@ pub mod client;
 pub mod depth;
 pub mod error;
 pub mod fsrepo;
+pub mod gateway;
 pub mod handler;
 pub mod ifheader;
 pub mod lock;
@@ -58,6 +59,7 @@ pub mod memrepo;
 pub mod multistatus;
 pub mod order;
 pub mod pathlock;
+pub mod propindex;
 pub mod property;
 pub mod repo;
 pub mod search;
@@ -73,6 +75,7 @@ pub use handler::DavHandler;
 pub use memrepo::MemRepository;
 pub use multistatus::Multistatus;
 pub use pathlock::{PathGuard, PathLocks};
+pub use propindex::{IndexStats, PropIndex};
 pub use property::{Property, PropertyName};
 pub use repo::Repository;
 pub use translate::{SchemaMap, TranslatingRepository};

@@ -14,6 +14,7 @@
 use crate::error::{DavError, Result};
 use crate::pathlock::PathLocks;
 use crate::property::{Property, PropertyName};
+use crate::propindex::{IndexStats, Probe, PropIndex};
 use crate::repo::{
     check_copy_overlap, live_props_from_meta, PropPatchOp, Repository, ResourceMeta, StageStatus,
 };
@@ -72,6 +73,10 @@ pub struct MemRepository {
     /// Lock order where both are held: `stages` before `nodes`.
     stages: Mutex<HashMap<String, MemStage>>,
     locks: PathLocks,
+    /// Secondary property index, maintained inside the same lock plans
+    /// that order the mutations (leaf lock: never held while acquiring
+    /// `nodes` or a path lock).
+    index: PropIndex,
 }
 
 impl Default for MemRepository {
@@ -82,6 +87,7 @@ impl Default for MemRepository {
             nodes: Mutex::new(HashMap::new()),
             stages: Mutex::new(HashMap::new()),
             locks: PathLocks::new(crate::pathlock::DEFAULT_SHARDS, false),
+            index: PropIndex::new(),
         }
     }
 }
@@ -104,6 +110,7 @@ impl MemRepository {
             nodes: Mutex::new(HashMap::new()),
             stages: Mutex::new(HashMap::new()),
             locks: PathLocks::new(shards, global),
+            index: PropIndex::new(),
         };
         repo.nodes
             .lock()
@@ -114,6 +121,11 @@ impl MemRepository {
     /// The path-lock table (tests assert on its counters).
     pub fn path_locks(&self) -> &PathLocks {
         &self.locks
+    }
+
+    /// Property-index probe counters (tests assert SEARCH goes indexed).
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
     }
 
     fn descendants(nodes: &HashMap<String, MemNode>, path: &str) -> Vec<String> {
@@ -321,7 +333,9 @@ impl Repository for MemRepository {
             if nodes.get(&path).map(|n| n.is_collection).unwrap_or(false) != was_collection {
                 continue;
             }
-            return Self::delete_in(&mut nodes, &path);
+            Self::delete_in(&mut nodes, &path)?;
+            self.index.remove_tree(&path);
+            return Ok(());
         }
     }
 
@@ -342,7 +356,10 @@ impl Repository for MemRepository {
             if now_subtree != subtree {
                 continue;
             }
-            return Self::copy_in(&mut nodes, &src, &dst, overwrite);
+            let created = Self::copy_in(&mut nodes, &src, &dst, overwrite)?;
+            self.index.remove_tree(&dst);
+            self.index.copy_tree(&src, &dst);
+            return Ok(created);
         }
     }
 
@@ -367,6 +384,8 @@ impl Repository for MemRepository {
             }
             let created = Self::copy_in(&mut nodes, &src, &dst, overwrite)?;
             Self::delete_in(&mut nodes, &src)?;
+            self.index.remove_tree(&dst);
+            self.index.move_tree(&src, &dst);
             return Ok(created);
         }
     }
@@ -445,6 +464,7 @@ impl Repository for MemRepository {
         // Metadata edits advance the modification time so ETags and
         // Last-Modified reflect PROPPATCH, matching the fs repository.
         n.modified = SystemTime::now();
+        self.index.set(&path, &prop.name, &prop.text_value());
         Ok(())
     }
 
@@ -458,6 +478,7 @@ impl Repository for MemRepository {
         let removed = n.props.remove(name).is_some();
         if removed {
             n.modified = SystemTime::now();
+            self.index.remove(&path, name);
         }
         Ok(removed)
     }
@@ -491,10 +512,14 @@ impl Repository for MemRepository {
             match op {
                 PropPatchOp::Set(p) => {
                     n.props.insert(p.name.clone(), p.clone());
+                    self.index.set(&path, &p.name, &p.text_value());
                     changed = true;
                 }
                 PropPatchOp::Remove(name) => {
-                    changed |= n.props.remove(name).is_some();
+                    if n.props.remove(name).is_some() {
+                        self.index.remove(&path, name);
+                        changed = true;
+                    }
                 }
             }
         }
@@ -502,6 +527,10 @@ impl Repository for MemRepository {
             n.modified = SystemTime::now();
         }
         Ok(())
+    }
+
+    fn index_probe(&self, probe: &Probe) -> Option<Vec<String>> {
+        self.index.probe(probe)
     }
 
     fn stage_status(&self, path: &str) -> Result<Option<StageStatus>> {

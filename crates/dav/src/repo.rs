@@ -312,6 +312,17 @@ pub trait Repository: Send + Sync + 'static {
         }
         Ok(())
     }
+
+    /// Consult a secondary property index (see [`crate::propindex`]):
+    /// `Some(paths)` is the exact, sorted set of resources whose dead
+    /// property satisfies the probe; `None` means the repository cannot
+    /// answer (no index, or the probe is outside what the index holds)
+    /// and the SEARCH planner must fall back to the scan. The default
+    /// declines everything, so wrappers and simple backends stay
+    /// correct without maintaining an index.
+    fn index_probe(&self, _probe: &crate::propindex::Probe) -> Option<Vec<String>> {
+        None
+    }
 }
 
 /// Build the live property set from already-fetched metadata — shared

@@ -11,10 +11,16 @@
 
 use crate::error::{DavError, Result};
 use crate::multistatus::{Multistatus, PropStat};
+use crate::propindex::Probe;
 use crate::property::{Property, PropertyName, DAV_NS};
 use crate::repo::Repository;
 use pse_http::{Request, Response, StatusCode};
 use pse_xml::dom::{Document, Element};
+use std::collections::BTreeSet;
+
+/// Response header carrying the opaque continuation token when a
+/// `limit`ed SEARCH stopped before exhausting its matches.
+pub const CURSOR_HEADER: &str = "X-Search-Cursor";
 
 /// A parsed `where` condition tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +80,24 @@ pub struct Query {
     pub select: Vec<PropertyName>,
     /// Filter tree.
     pub condition: Condition,
+    /// Stop after this many matches (`DAV:limit`/`DAV:nresults`).
+    pub limit: Option<usize>,
+    /// Opaque continuation token from a previous limited search.
+    pub cursor: Option<String>,
+}
+
+impl Query {
+    /// An unlimited allprop query over `scope` with `condition`.
+    pub fn new(scope: impl Into<String>, condition: Condition) -> Query {
+        Query {
+            scope: scope.into(),
+            depth: None,
+            select: Vec::new(),
+            condition,
+            limit: None,
+            cursor: None,
+        }
+    }
 }
 
 fn prop_name_of(elem: &Element) -> Result<PropertyName> {
@@ -170,12 +194,33 @@ pub fn parse_query(body: &[u8]) -> Result<Query> {
                 .map(|d| d.text().trim().to_owned())
                 .as_deref()
             {
+                None | Some("infinity") => None,
                 Some("0") => Some(0),
                 Some("1") => Some(1),
-                _ => None,
+                Some(other) => {
+                    return Err(DavError::BadRequest(format!(
+                        "bad search depth {other:?} (want 0, 1 or infinity)"
+                    )))
+                }
             };
         }
     }
+
+    let limit = match basic.child(Some(DAV_NS), "limit") {
+        None => None,
+        Some(l) => {
+            let n = l.child(Some(DAV_NS), "nresults").ok_or_else(|| {
+                DavError::BadRequest("DAV:limit without DAV:nresults".into())
+            })?;
+            Some(n.text().trim().parse::<usize>().map_err(|_| {
+                DavError::BadRequest("DAV:nresults is not a non-negative integer".into())
+            })?)
+        }
+    };
+    let cursor = basic
+        .child(Some(DAV_NS), "cursor")
+        .map(|c| c.text().trim().to_owned())
+        .filter(|t| !t.is_empty());
 
     let select = basic
         .child(Some(DAV_NS), "select")
@@ -200,19 +245,162 @@ pub fn parse_query(body: &[u8]) -> Result<Query> {
         depth,
         select,
         condition,
+        limit,
+        cursor,
     })
 }
 
-/// Execute a query against a repository.
-pub fn execute(repo: &dyn Repository, query: &Query) -> Result<Multistatus> {
+/// A completed search: the multistatus plus paging/planning metadata.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// Matching resources (one response per match, lexicographic order).
+    pub ms: Multistatus,
+    /// Continuation token when a `limit` stopped the search early.
+    pub next_cursor: Option<String>,
+    /// Whether the property index supplied the candidate set.
+    pub indexed: bool,
+}
+
+/// Encode a path as an opaque continuation token (lowercase hex).
+pub fn encode_cursor(path: &str) -> String {
+    let mut out = String::with_capacity(path.len() * 2);
+    for b in path.bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn decode_cursor(token: &str) -> Result<String> {
+    let bad = || DavError::BadRequest("unparseable search cursor".into());
+    if token.len() % 2 != 0 || !token.is_ascii() {
+        return Err(bad());
+    }
+    let mut bytes = Vec::with_capacity(token.len() / 2);
+    let mut i = 0;
+    while i < token.len() {
+        bytes.push(u8::from_str_radix(&token[i..i + 2], 16).map_err(|_| bad())?);
+        i += 2;
+    }
+    String::from_utf8(bytes).map_err(|_| bad())
+}
+
+/// Depth of `path` below `scope`, or `None` if it is outside the scope.
+fn depth_below(path: &str, scope: &str) -> Option<u32> {
+    if path == scope {
+        return Some(0);
+    }
+    let rest = if scope == "/" {
+        path.strip_prefix('/')?
+    } else {
+        path.strip_prefix(scope)?.strip_prefix('/')?
+    };
+    if rest.is_empty() {
+        return None;
+    }
+    Some(rest.split('/').count() as u32)
+}
+
+fn intersect_sorted(mut sets: Vec<Vec<String>>) -> Vec<String> {
+    sets.sort_by_key(Vec::len);
+    let (first, rest) = sets.split_first().expect("non-empty set list");
+    first
+        .iter()
+        .filter(|p| rest.iter().all(|s| s.binary_search(p).is_ok()))
+        .cloned()
+        .collect()
+}
+
+/// The query planner: derive a candidate *superset* of the matches from
+/// the property index, or `None` when the condition (or the repository)
+/// cannot answer from the index and the executor must walk-and-scan.
+///
+/// Soundness rules — candidates are re-evaluated against `all_props`
+/// before being returned, so a probe only has to be *complete* (never
+/// miss a true match), never exact:
+///
+/// * leaf operators probe only **dead** property names — live ones are
+///   computed per-request and never indexed;
+/// * `contains` uses the `isdefined` postings (every substring match is
+///   on a defined property);
+/// * `and` intersects whichever children are plannable — any child's
+///   candidate set already bounds the conjunction;
+/// * `or` is plannable only when *every* child is (a missed branch
+///   would drop matches);
+/// * `not` and the empty `where` see the whole scope — no index help.
+fn plan(repo: &dyn Repository, cond: &Condition) -> Option<Vec<String>> {
+    match cond {
+        Condition::Eq(n, v) if !n.is_live() => repo.index_probe(&Probe::Eq(n, v)),
+        Condition::Contains(n, _) if !n.is_live() => repo.index_probe(&Probe::IsDefined(n)),
+        Condition::Gt(n, v) if !n.is_live() => repo.index_probe(&Probe::Gt(n, *v)),
+        Condition::Lt(n, v) if !n.is_live() => repo.index_probe(&Probe::Lt(n, *v)),
+        Condition::IsDefined(n) if !n.is_live() => repo.index_probe(&Probe::IsDefined(n)),
+        Condition::And(cs) => {
+            let sets: Vec<Vec<String>> = cs.iter().filter_map(|c| plan(repo, c)).collect();
+            if sets.is_empty() {
+                return None;
+            }
+            Some(intersect_sorted(sets))
+        }
+        Condition::Or(cs) => {
+            let mut union = BTreeSet::new();
+            for c in cs {
+                union.extend(plan(repo, c)?);
+            }
+            Some(union.into_iter().collect())
+        }
+        _ => None,
+    }
+}
+
+fn run(repo: &dyn Repository, query: &Query, use_index: bool) -> Result<SearchOutcome> {
     if !repo.exists(&query.scope) {
         return Err(DavError::NotFound(query.scope.clone()));
     }
-    let mut paths = Vec::new();
-    repo.walk(&query.scope, query.depth, &mut |p| paths.push(p.to_owned()))?;
+    let resume_after = query.cursor.as_deref().map(decode_cursor).transpose()?;
+
+    let planned = if use_index {
+        plan(repo, &query.condition)
+    } else {
+        None
+    };
+    let indexed = planned.is_some();
+    let mut paths = match planned {
+        Some(candidates) => candidates
+            .into_iter()
+            .filter(|p| {
+                depth_below(p, &query.scope)
+                    .is_some_and(|d| query.depth.is_none_or(|max| d <= max))
+            })
+            .collect(),
+        None => {
+            let mut all = Vec::new();
+            repo.walk(&query.scope, query.depth, &mut |p| all.push(p.to_owned()))?;
+            all
+        }
+    };
+    // Deterministic order makes index- and scan-backed execution agree
+    // byte-for-byte and keeps continuation cursors stable.
+    paths.sort();
+    paths.dedup();
+
     let mut ms = Multistatus::new();
+    let mut next_cursor = None;
+    let mut emitted = 0usize;
     for path in paths {
-        let props = repo.all_props(&path)?;
+        if resume_after.as_deref().is_some_and(|c| path.as_str() <= c) {
+            continue;
+        }
+        if query.limit == Some(0) {
+            break;
+        }
+        // A resource may vanish between candidate discovery and property
+        // fetch (SEARCH racing DELETE): skip it rather than failing the
+        // whole query.
+        let props = match repo.all_props(&path) {
+            Ok(props) => props,
+            Err(DavError::NotFound(_)) => continue,
+            Err(e) => return Err(e),
+        };
         if !query.condition.eval(&props) {
             continue;
         }
@@ -232,15 +420,45 @@ pub fn execute(repo: &dyn Repository, query: &Query) -> Result<Multistatus> {
                 status: StatusCode::OK,
             }],
         );
+        emitted += 1;
+        if query.limit.is_some_and(|l| emitted >= l) {
+            next_cursor = Some(encode_cursor(&path));
+            break;
+        }
     }
-    Ok(ms)
+    Ok(SearchOutcome {
+        ms,
+        next_cursor,
+        indexed,
+    })
+}
+
+/// Execute a query, consulting the property index when it can answer.
+pub fn execute(repo: &dyn Repository, query: &Query) -> Result<Multistatus> {
+    Ok(run(repo, query, true)?.ms)
+}
+
+/// Execute with full paging metadata (used by the protocol entry points).
+pub fn execute_paged(repo: &dyn Repository, query: &Query) -> Result<SearchOutcome> {
+    run(repo, query, true)
+}
+
+/// Execute by walking the scope and scanning every resource, ignoring
+/// the index. The reference implementation the equivalence proptests and
+/// the `repro_search` benchmark compare against.
+pub fn execute_scan(repo: &dyn Repository, query: &Query) -> Result<Multistatus> {
+    Ok(run(repo, query, false)?.ms)
 }
 
 /// The SEARCH method entry point used by the handler.
 pub fn handle(repo: &dyn Repository, req: &Request) -> Result<Response> {
     let query = parse_query(&req.body)?;
-    let ms = execute(repo, &query)?;
-    Ok(Response::new(StatusCode::MULTI_STATUS).with_xml_body(ms.to_xml()))
+    let out = execute_paged(repo, &query)?;
+    let mut resp = Response::new(StatusCode::MULTI_STATUS).with_xml_body(out.ms.to_xml());
+    if let Some(cursor) = out.next_cursor {
+        resp = resp.with_header(CURSOR_HEADER, cursor);
+    }
+    Ok(resp)
 }
 
 #[cfg(test)]
@@ -304,12 +522,7 @@ mod tests {
                 "+2".into(),
             ))),
         ]);
-        let q = Query {
-            scope: "/mols".into(),
-            depth: None,
-            select: vec![],
-            condition: cond,
-        };
+        let q = Query::new("/mols", cond);
         let ms = execute(&r, &q).unwrap();
         let hrefs: Vec<_> = ms.responses.iter().map(|e| e.href.as_str()).collect();
         assert_eq!(hrefs, vec!["/mols/hydroxide", "/mols/water"]);
@@ -318,12 +531,7 @@ mod tests {
     #[test]
     fn numeric_comparison() {
         let r = repo_with_molecules();
-        let q = Query {
-            scope: "/".into(),
-            depth: None,
-            select: vec![],
-            condition: Condition::Gt(PropertyName::new("urn:ecce", "charge"), 0.0),
-        };
+        let q = Query::new("/", Condition::Gt(PropertyName::new("urn:ecce", "charge"), 0.0));
         let ms = execute(&r, &q).unwrap();
         assert_eq!(ms.responses.len(), 1);
         assert_eq!(ms.responses[0].href, "/mols/uranyl");
@@ -341,10 +549,11 @@ mod tests {
         let r = repo_with_molecules();
         r.put("/mols/bare", b"", None).unwrap();
         let q = Query {
-            scope: "/mols".into(),
             depth: Some(1),
-            select: vec![],
-            condition: Condition::IsDefined(PropertyName::new("urn:ecce", "formula")),
+            ..Query::new(
+                "/mols",
+                Condition::IsDefined(PropertyName::new("urn:ecce", "formula")),
+            )
         };
         let ms = execute(&r, &q).unwrap();
         assert_eq!(ms.responses.len(), 3);
@@ -375,12 +584,233 @@ mod tests {
     #[test]
     fn missing_scope_is_404() {
         let r = MemRepository::new();
-        let q = Query {
-            scope: "/nope".into(),
-            depth: None,
-            select: vec![],
-            condition: Condition::True,
-        };
+        let q = Query::new("/nope", Condition::True);
         assert!(matches!(execute(&r, &q), Err(DavError::NotFound(_))));
+    }
+
+    fn body_with_depth(depth: &str) -> String {
+        format!(
+            r#"<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+              <D:from><D:scope><D:href>/mols</D:href><D:depth>{depth}</D:depth></D:scope></D:from>
+            </D:basicsearch></D:searchrequest>"#
+        )
+    }
+
+    #[test]
+    fn depth_accepts_spec_values_and_rejects_garbage() {
+        assert_eq!(parse_query(body_with_depth("0").as_bytes()).unwrap().depth, Some(0));
+        assert_eq!(parse_query(body_with_depth("1").as_bytes()).unwrap().depth, Some(1));
+        assert_eq!(parse_query(body_with_depth("infinity").as_bytes()).unwrap().depth, None);
+        // Anything else used to fall silently to infinity — the scope
+        // explosion a client asking for depth "2" or "one" never wanted.
+        for garbage in ["2", "one", "Infinity", "-1", "0x1"] {
+            assert!(
+                matches!(
+                    parse_query(body_with_depth(garbage).as_bytes()),
+                    Err(DavError::BadRequest(_))
+                ),
+                "depth {garbage:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn limit_and_cursor_parse_from_the_body() {
+        let body = r#"<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+            <D:from><D:scope><D:href>/</D:href></D:scope></D:from>
+            <D:limit><D:nresults>25</D:nresults></D:limit>
+            <D:cursor>2f6d6f6c73</D:cursor>
+        </D:basicsearch></D:searchrequest>"#;
+        let q = parse_query(body.as_bytes()).unwrap();
+        assert_eq!(q.limit, Some(25));
+        assert_eq!(q.cursor.as_deref(), Some("2f6d6f6c73"));
+        let bad = r#"<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+            <D:limit><D:nresults>lots</D:nresults></D:limit>
+        </D:basicsearch></D:searchrequest>"#;
+        assert!(parse_query(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn paging_walks_every_match_exactly_once() {
+        let r = repo_with_molecules();
+        let mut q = Query {
+            limit: Some(1),
+            ..Query::new(
+                "/mols",
+                Condition::IsDefined(PropertyName::new("urn:ecce", "formula")),
+            )
+        };
+        let mut pages = Vec::new();
+        loop {
+            let out = execute_paged(&r, &q).unwrap();
+            pages.extend(out.ms.responses.iter().map(|e| e.href.clone()));
+            match out.next_cursor {
+                Some(c) => q.cursor = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(pages, vec!["/mols/hydroxide", "/mols/uranyl", "/mols/water"]);
+        // An unparseable cursor is a client error, not a scan restart.
+        q.cursor = Some("zz".into());
+        assert!(matches!(
+            execute_paged(&r, &q),
+            Err(DavError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn planner_answers_from_the_index_and_agrees_with_scan() {
+        let r = repo_with_molecules();
+        let formula = PropertyName::new("urn:ecce", "formula");
+        let charge = PropertyName::new("urn:ecce", "charge");
+        let cases = [
+            (Condition::Eq(formula.clone(), "UO2".into()), true),
+            (Condition::Contains(formula.clone(), "O".into()), true),
+            (Condition::Gt(charge.clone(), 0.0), true),
+            (Condition::Lt(charge.clone(), 0.0), true),
+            (Condition::IsDefined(formula.clone()), true),
+            (
+                Condition::And(vec![
+                    Condition::IsDefined(formula.clone()),
+                    Condition::Not(Box::new(Condition::Eq(charge.clone(), "0".into()))),
+                ]),
+                true, // one plannable conjunct is enough
+            ),
+            (
+                Condition::Or(vec![
+                    Condition::Eq(formula.clone(), "H2O".into()),
+                    Condition::Eq(formula.clone(), "OH".into()),
+                ]),
+                true,
+            ),
+            (
+                // A non-plannable disjunct poisons the whole or.
+                Condition::Or(vec![
+                    Condition::Eq(formula.clone(), "H2O".into()),
+                    Condition::Not(Box::new(Condition::True)),
+                ]),
+                false,
+            ),
+            (Condition::Not(Box::new(Condition::True)), false),
+            (Condition::True, false),
+            // Live properties are computed per request — never indexed.
+            (
+                Condition::IsDefined(PropertyName::dav("getcontentlength")),
+                false,
+            ),
+        ];
+        for (cond, expect_indexed) in cases {
+            let q = Query::new("/", cond.clone());
+            let indexed = execute_paged(&r, &q).unwrap();
+            let scanned = execute_scan(&r, &q).unwrap();
+            assert_eq!(
+                indexed.ms.to_xml(),
+                scanned.to_xml(),
+                "index/scan divergence on {cond:?}"
+            );
+            assert_eq!(
+                indexed.indexed, expect_indexed,
+                "planner decision on {cond:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_candidates_respect_scope_and_depth() {
+        let r = repo_with_molecules();
+        r.mkcol("/other").unwrap();
+        r.put("/other/thing", b"", None).unwrap();
+        r.set_prop(
+            "/other/thing",
+            &Property::text(PropertyName::new("urn:ecce", "formula"), "H2O"),
+        )
+        .unwrap();
+        // The index holds both paths; scope must filter to /mols.
+        let q = Query::new(
+            "/mols",
+            Condition::Eq(PropertyName::new("urn:ecce", "formula"), "H2O".into()),
+        );
+        let out = execute_paged(&r, &q).unwrap();
+        assert!(out.indexed);
+        let hrefs: Vec<_> = out.ms.responses.iter().map(|e| e.href.as_str()).collect();
+        assert_eq!(hrefs, vec!["/mols/water"]);
+        // Depth 0 on the collection itself excludes the children.
+        let q = Query { depth: Some(0), ..q };
+        assert!(execute(&r, &q).unwrap().responses.is_empty());
+    }
+
+    /// A repository where a chosen path "vanishes" between `walk` and
+    /// `all_props` — the deterministic shape of the SEARCH/DELETE race.
+    struct VanishingRepo {
+        inner: MemRepository,
+        vanished: String,
+    }
+
+    impl Repository for VanishingRepo {
+        fn exists(&self, path: &str) -> bool {
+            self.inner.exists(path)
+        }
+        fn meta(&self, path: &str) -> Result<crate::repo::ResourceMeta> {
+            self.inner.meta(path)
+        }
+        fn get(&self, path: &str) -> Result<Vec<u8>> {
+            self.inner.get(path)
+        }
+        fn put(&self, path: &str, data: &[u8], ct: Option<&str>) -> Result<bool> {
+            self.inner.put(path, data, ct)
+        }
+        fn mkcol(&self, path: &str) -> Result<()> {
+            self.inner.mkcol(path)
+        }
+        fn delete(&self, path: &str) -> Result<()> {
+            self.inner.delete(path)
+        }
+        fn copy(&self, s: &str, d: &str, o: bool) -> Result<bool> {
+            self.inner.copy(s, d, o)
+        }
+        fn rename(&self, s: &str, d: &str, o: bool) -> Result<bool> {
+            self.inner.rename(s, d, o)
+        }
+        fn list(&self, path: &str) -> Result<Vec<String>> {
+            self.inner.list(path)
+        }
+        fn get_prop(&self, path: &str, name: &PropertyName) -> Result<Option<Property>> {
+            self.inner.get_prop(path, name)
+        }
+        fn list_props(&self, path: &str) -> Result<Vec<PropertyName>> {
+            self.inner.list_props(path)
+        }
+        fn set_prop(&self, path: &str, prop: &Property) -> Result<()> {
+            self.inner.set_prop(path, prop)
+        }
+        fn remove_prop(&self, path: &str, name: &PropertyName) -> Result<bool> {
+            self.inner.remove_prop(path, name)
+        }
+        fn disk_usage(&self) -> Result<u64> {
+            self.inner.disk_usage()
+        }
+        fn all_props(&self, path: &str) -> Result<Vec<Property>> {
+            if path == self.vanished {
+                return Err(DavError::NotFound(path.to_owned()));
+            }
+            self.inner.all_props(path)
+        }
+    }
+
+    #[test]
+    fn vanished_resources_are_skipped_not_fatal() {
+        let r = VanishingRepo {
+            inner: repo_with_molecules(),
+            vanished: "/mols/uranyl".to_owned(),
+        };
+        // The whole query used to abort with the NotFound — losing every
+        // other match to one concurrent DELETE.
+        let q = Query::new(
+            "/mols",
+            Condition::IsDefined(PropertyName::new("urn:ecce", "formula")),
+        );
+        let ms = execute(&r, &q).unwrap();
+        let hrefs: Vec<_> = ms.responses.iter().map(|e| e.href.as_str()).collect();
+        assert_eq!(hrefs, vec!["/mols/hydroxide", "/mols/water"]);
     }
 }

@@ -172,6 +172,21 @@ impl<R: Repository> Repository for TranslatingRepository<R> {
     fn disk_usage(&self) -> Result<u64> {
         self.inner.disk_usage()
     }
+
+    fn index_probe(&self, probe: &crate::propindex::Probe) -> Option<Vec<String>> {
+        use crate::propindex::Probe;
+        // A foreign-name query must probe the canonical postings — that
+        // is where the data actually lives. Candidate paths carry no
+        // property names, so nothing needs renaming on the way out.
+        let canonical = self.map.canonical(probe.name());
+        let rewritten = match probe {
+            Probe::Eq(_, v) => Probe::Eq(canonical, v),
+            Probe::Gt(_, n) => Probe::Gt(canonical, *n),
+            Probe::Lt(_, n) => Probe::Lt(canonical, *n),
+            Probe::IsDefined(_) => Probe::IsDefined(canonical),
+        };
+        self.inner.index_probe(&rewritten)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,455 @@
+//! SEARCH correctness sweep: the indexed planner must be *undetectable*
+//! except by speed.
+//!
+//! * Property-driven equivalence: random mutation histories over mem-
+//!   and fs-repositories, then a battery of queries executed twice —
+//!   once through the planner, once by walk-and-scan — must agree
+//!   byte-for-byte (the index also has to survive a process restart and
+//!   deliberate on-disk corruption).
+//! * SEARCH racing DELETE: a query never aborts because a resource
+//!   vanished between candidate discovery and property fetch.
+//! * The protocol path: SEARCH through gzip content-coding, through a
+//!   fault-injecting proxy with retries, and pipelined back-to-back on
+//!   one connection against both server cores.
+
+use proptest::prelude::*;
+use pse_dav::client::DavClient;
+use pse_dav::fsrepo::{FsConfig, FsRepository};
+use pse_dav::handler::DavHandler;
+use pse_dav::memrepo::MemRepository;
+use pse_dav::property::{Property, PropertyName};
+use pse_dav::repo::{PropPatchOp, Repository};
+use pse_dav::search::{self, Condition, Query};
+use pse_dav::server::serve;
+use pse_http::fault::{Fault, FaultProxy, Point, Schedule};
+use pse_http::retry::RetryPolicy;
+use pse_http::server::{ServerConfig, ServerMode};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static N: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "davpse-searcheq-{tag}-{n}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+const NS: &str = "urn:eq";
+
+fn names() -> [PropertyName; 3] {
+    ["formula", "charge", "note"].map(|l| PropertyName::new(NS, l))
+}
+
+/// Value pool: strings, numerics (including negative and zero, which
+/// exercise the numeric side-index's sign handling), and one value past
+/// the index's full-text cap so capped postings stay on the hot path.
+fn values() -> Vec<String> {
+    let mut v: Vec<String> = ["H2O", "UO2", "OH", "0", "-2", "3.5", "-0.0", "not a number"]
+        .map(str::to_owned)
+        .to_vec();
+    v.push("x".repeat(1500));
+    v
+}
+
+/// Drive a deterministic random mutation history over every repository
+/// mutation point the index hooks: PUT, MKCOL, PROPPATCH (single and
+/// batched), DELETE, COPY, MOVE. Errors are expected (racing shapes,
+/// missing parents) and ignored — the index must stay coherent anyway.
+fn apply_history(repo: &dyn Repository, seed: u64, ops: usize) {
+    let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let _ = repo.mkcol("/c0");
+    let _ = repo.mkcol("/c1");
+    let vals = values();
+    let nms = names();
+    let path_of = |r: u64| -> String {
+        match r % 6 {
+            0 => "/c0".into(),
+            1 => "/c1".into(),
+            k => format!("/c{}/d{}", k % 2, r % 4),
+        }
+    };
+    for _ in 0..ops {
+        let p = path_of(lcg(&mut rng));
+        let name = &nms[(lcg(&mut rng) as usize) % nms.len()];
+        let val = &vals[(lcg(&mut rng) as usize) % vals.len()];
+        match lcg(&mut rng) % 10 {
+            0 | 1 => {
+                let _ = repo.put(&p, b"body", None);
+            }
+            2 | 3 => {
+                let _ = repo.set_prop(&p, &Property::text(name.clone(), val));
+            }
+            4 => {
+                let _ = repo.remove_prop(&p, name);
+            }
+            5 => {
+                let other = &nms[(lcg(&mut rng) as usize) % nms.len()];
+                let _ = repo.patch_props(
+                    &p,
+                    &[
+                        PropPatchOp::Set(Property::text(name.clone(), val)),
+                        PropPatchOp::Remove(other.clone()),
+                    ],
+                );
+            }
+            6 => {
+                let _ = repo.delete(&p);
+            }
+            7 => {
+                let dst = path_of(lcg(&mut rng));
+                if dst != p {
+                    let _ = repo.copy(&p, &dst, true);
+                }
+            }
+            8 => {
+                let dst = path_of(lcg(&mut rng));
+                if dst != p {
+                    let _ = repo.rename(&p, &dst, true);
+                }
+            }
+            _ => {
+                let _ = repo.mkcol(&format!("/c{}/sub", lcg(&mut rng) % 2));
+            }
+        }
+    }
+}
+
+/// The query battery: every operator, the boolean compositions, plus
+/// paging — executed with the planner and by scan, compared exactly.
+fn assert_index_matches_scan(repo: &dyn Repository, context: &str) {
+    let nms = names();
+    let long = "x".repeat(1500);
+    let mut conditions = vec![Condition::True, Condition::IsDefined(nms[0].clone())];
+    for v in ["H2O", "0", "-2", "not a number", long.as_str()] {
+        conditions.push(Condition::Eq(nms[0].clone(), v.into()));
+        conditions.push(Condition::Eq(nms[1].clone(), v.into()));
+    }
+    for t in [-2.0, -0.0, 0.0, 3.5] {
+        conditions.push(Condition::Gt(nms[1].clone(), t));
+        conditions.push(Condition::Lt(nms[1].clone(), t));
+    }
+    conditions.push(Condition::Contains(nms[2].clone(), "O".into()));
+    conditions.push(Condition::And(vec![
+        Condition::IsDefined(nms[0].clone()),
+        Condition::Gt(nms[1].clone(), -1.0),
+    ]));
+    conditions.push(Condition::Or(vec![
+        Condition::Eq(nms[0].clone(), "H2O".into()),
+        Condition::Eq(nms[0].clone(), "UO2".into()),
+    ]));
+    conditions.push(Condition::Not(Box::new(Condition::Eq(
+        nms[0].clone(),
+        "H2O".into(),
+    ))));
+    for (i, cond) in conditions.into_iter().enumerate() {
+        for scope in ["/", "/c0"] {
+            if !repo.exists(scope) {
+                continue;
+            }
+            for depth in [None, Some(1)] {
+                let q = Query {
+                    depth,
+                    ..Query::new(scope, cond.clone())
+                };
+                let indexed = search::execute(repo, &q).unwrap();
+                let scanned = search::execute_scan(repo, &q).unwrap();
+                assert_eq!(
+                    indexed.to_xml(),
+                    scanned.to_xml(),
+                    "{context}: query #{i} {cond:?} scope={scope} depth={depth:?}"
+                );
+            }
+        }
+        // Paged traversal must visit exactly the scan's matches.
+        let mut q = Query {
+            limit: Some(2),
+            ..Query::new("/", cond.clone())
+        };
+        let mut paged = Vec::new();
+        loop {
+            let out = search::execute_paged(repo, &q).unwrap();
+            paged.extend(out.ms.responses.iter().map(|e| e.href.clone()));
+            match out.next_cursor {
+                Some(c) => q.cursor = Some(c),
+                None => break,
+            }
+        }
+        let scanned: Vec<String> = search::execute_scan(repo, &Query::new("/", cond.clone()))
+            .unwrap()
+            .responses
+            .into_iter()
+            .map(|e| e.href)
+            .collect();
+        assert_eq!(paged, scanned, "{context}: paging of query #{i} {cond:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn mem_index_equivalent_to_scan(seed in 0u64..1_000_000u64, ops in 30usize..120usize) {
+        let repo = MemRepository::new();
+        apply_history(&repo, seed, ops);
+        assert_index_matches_scan(&repo, &format!("mem seed={seed} ops={ops}"));
+    }
+
+    #[test]
+    fn fs_index_equivalent_to_scan_and_survives_restart(
+        seed in 0u64..1_000_000u64,
+        ops in 20usize..60usize,
+    ) {
+        let dir = temp_dir("prop");
+        {
+            let repo = FsRepository::create(&dir, FsConfig::default()).unwrap();
+            apply_history(&repo, seed, ops);
+            assert_index_matches_scan(&repo, &format!("fs seed={seed}"));
+        }
+        // Reopen: the persisted snapshot+journal must answer identically.
+        {
+            let repo = FsRepository::create(&dir, FsConfig::default()).unwrap();
+            assert_index_matches_scan(&repo, &format!("fs-reopen seed={seed}"));
+        }
+        // Corrupt the journal, then the snapshot: open() must fall back
+        // to a rebuild from the property databases, not trust the wreck.
+        let index_dir = dir.join(".DAV").join("index");
+        std::fs::write(index_dir.join("journal.log"), b"garbage without checksum").unwrap();
+        {
+            let repo = FsRepository::create(&dir, FsConfig::default()).unwrap();
+            assert_index_matches_scan(&repo, &format!("fs-bad-journal seed={seed}"));
+        }
+        std::fs::write(index_dir.join("snapshot.idx"), vec![0xAA; 512]).unwrap();
+        {
+            let repo = FsRepository::create(&dir, FsConfig::default()).unwrap();
+            assert_index_matches_scan(&repo, &format!("fs-bad-snapshot seed={seed}"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Regression for the vanish race: SEARCH used to abort the whole query
+/// with 404 when any walked resource was DELETEd before its property
+/// fetch. Hammer queries against concurrent delete/recreate cycles —
+/// every query must succeed, and every returned match must be a path
+/// that plausibly existed.
+#[test]
+fn search_never_aborts_while_racing_delete() {
+    let repo = Arc::new(MemRepository::new());
+    repo.mkcol("/race").unwrap();
+    let name = PropertyName::new(NS, "tag");
+    for i in 0..8 {
+        let p = format!("/race/d{i}");
+        repo.put(&p, b"", None).unwrap();
+        repo.set_prop(&p, &Property::text(name.clone(), "yes")).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let repo = Arc::clone(&repo);
+        let stop = Arc::clone(&stop);
+        let name = name.clone();
+        std::thread::spawn(move || {
+            let mut rng = 42u64;
+            while !stop.load(Ordering::SeqCst) {
+                let p = format!("/race/d{}", lcg(&mut rng) % 8);
+                if lcg(&mut rng) % 2 == 0 {
+                    let _ = repo.delete(&p);
+                } else {
+                    let _ = repo.put(&p, b"", None);
+                    let _ = repo.set_prop(&p, &Property::text(name.clone(), "yes"));
+                }
+            }
+        })
+    };
+    let q = Query::new("/race", Condition::IsDefined(name.clone()));
+    for i in 0..400 {
+        // Alternate planner and scan: the race window differs (index
+        // candidates vs walk), both must tolerate the vanish.
+        let result = if i % 2 == 0 {
+            search::execute(repo.as_ref(), &q)
+        } else {
+            search::execute_scan(repo.as_ref(), &q)
+        };
+        let ms = result.unwrap_or_else(|e| panic!("query #{i} aborted: {e}"));
+        for entry in &ms.responses {
+            assert!(entry.href.starts_with("/race/d"), "{}", entry.href);
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    churner.join().unwrap();
+}
+
+fn molecule_server(mode: ServerMode) -> (pse_http::server::Server, std::path::PathBuf) {
+    let dir = temp_dir("srv");
+    let repo = FsRepository::create(&dir, FsConfig::default()).unwrap();
+    repo.mkcol("/mols").unwrap();
+    for i in 0..30 {
+        let p = format!("/mols/m{i:02}");
+        repo.put(&p, b"geometry", None).unwrap();
+        repo.set_prop(
+            &p,
+            &Property::text(
+                PropertyName::new(NS, "formula"),
+                if i % 3 == 0 { "H2O" } else { "UO2" },
+            ),
+        )
+        .unwrap();
+    }
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            mode,
+            ..ServerConfig::default()
+        },
+        DavHandler::new(repo),
+    )
+    .unwrap();
+    (server, dir)
+}
+
+fn eq_search_body(value: &str) -> String {
+    format!(
+        r#"<D:searchrequest xmlns:D="DAV:" xmlns:q="{NS}"><D:basicsearch>
+          <D:from><D:scope><D:href>/mols</D:href></D:scope></D:from>
+          <D:where><D:eq><D:prop><q:formula/></D:prop><D:literal>{value}</D:literal></D:eq></D:where>
+        </D:basicsearch></D:searchrequest>"#
+    )
+}
+
+/// SEARCH through the gzip content-coding: the 207 is large enough to
+/// compress, and the client's transparent decode must hand back the
+/// same multistatus a plain client sees.
+#[test]
+fn search_through_gzip_roundtrips() {
+    let (server, dir) = molecule_server(ServerMode::Reactor);
+    let addr = server.local_addr();
+
+    // Raw exchange first: prove the coding actually happened on the wire.
+    let body = eq_search_body("UO2");
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(
+        format!(
+            "SEARCH / HTTP/1.1\r\nContent-Type: text/xml\r\nAccept-Encoding: gzip\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_ascii_lowercase();
+    assert!(head.starts_with("http/1.1 207"), "{head}");
+    assert!(head.contains("content-encoding: gzip"), "{head}");
+    let xml = pse_http::gzip::decompress(&raw[head_end..], 10 * 1024 * 1024).unwrap();
+    let text = String::from_utf8(xml).unwrap();
+    assert_eq!(text.matches("<D:href>").count(), 20, "{text}");
+
+    // And through the client's negotiated path.
+    let mut c = DavClient::connect(addr).unwrap();
+    c.http().set_accept_gzip(true);
+    let ms = c.search_raw(&body).unwrap();
+    assert_eq!(ms.responses.len(), 20);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SEARCH is idempotent: under connection resets, truncation, and
+/// corruption from a fault proxy, the retry policy must deliver the
+/// right answer anyway.
+#[test]
+fn search_survives_fault_proxy() {
+    let (server, dir) = molecule_server(ServerMode::Reactor);
+    let addr = server.local_addr();
+    let faults = [
+        Fault::Reset(Point::BeforeRequest),
+        Fault::Reset(Point::MidResponse),
+        Fault::Truncate(10),
+        Fault::Corrupt,
+    ];
+    for fault in faults {
+        let proxy = FaultProxy::start(addr, Schedule::Script(vec![fault])).unwrap();
+        let mut c = DavClient::connect(proxy.addr()).unwrap();
+        c.http().set_accept_gzip(true);
+        c.set_retry_policy(RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            jitter: 0.5,
+            seed: 3,
+            deadline: Some(Duration::from_secs(10)),
+            read_timeout: Some(Duration::from_secs(2)),
+            write_timeout: Some(Duration::from_secs(2)),
+        });
+        let hrefs = c
+            .search_eq_paged("/mols", &PropertyName::new(NS, "formula"), "H2O", 3)
+            .unwrap_or_else(|e| panic!("search under {}: {e}", fault.label()));
+        assert_eq!(hrefs.len(), 10, "under {}", fault.label());
+        assert_eq!(
+            proxy.stats().fired_count(&fault.label()),
+            1,
+            "{} did not fire",
+            fault.label()
+        );
+        proxy.shutdown();
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two SEARCHes written back-to-back before reading anything: both
+/// cores must frame both 207s correctly on one connection.
+#[test]
+fn pipelined_search_framing_on_both_cores() {
+    for mode in [ServerMode::Reactor, ServerMode::Threaded] {
+        let (server, dir) = molecule_server(mode);
+        let b1 = eq_search_body("H2O");
+        let b2 = eq_search_body("UO2");
+        let mut wire = Vec::new();
+        for b in [&b1, &b2] {
+            wire.extend_from_slice(
+                format!(
+                    "SEARCH / HTTP/1.1\r\nContent-Type: text/xml\r\nContent-Length: {}\r\n\r\n",
+                    b.len()
+                )
+                .as_bytes(),
+            );
+            wire.extend_from_slice(b.as_bytes());
+        }
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.write_all(&wire).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert_eq!(
+            text.matches("HTTP/1.1 207").count(),
+            2,
+            "{}: {text}",
+            mode.as_str()
+        );
+        // First answer has the 10 H2O matches, second the 20 UO2 ones —
+        // framing intact means 30 hrefs total across the two bodies.
+        assert_eq!(
+            text.matches("<D:href>").count(),
+            30,
+            "{}: {text}",
+            mode.as_str()
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

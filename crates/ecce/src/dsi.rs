@@ -273,12 +273,10 @@ impl<R: Repository> DataStorage for InProcStorage<R> {
     }
 
     fn find_by_meta(&mut self, scope: &str, key: &str, value: &str) -> Result<Vec<String>> {
-        let query = pse_dav::search::Query {
-            scope: scope.to_owned(),
-            depth: None,
-            select: vec![],
-            condition: pse_dav::search::Condition::Eq(ecce_prop(key), value.to_owned()),
-        };
+        let query = pse_dav::search::Query::new(
+            scope,
+            pse_dav::search::Condition::Eq(ecce_prop(key), value.to_owned()),
+        );
         let ms = pse_dav::search::execute(self.repo.as_ref(), &query)?;
         Ok(ms.responses.into_iter().map(|r| r.href).collect())
     }

@@ -38,6 +38,14 @@
 #    repro_table2 --delta --check (a 1% edit re-PUT must move >= 10x
 #    fewer bytes on the wire than the full PUT), emitting
 #    target/bench-json/bulk.json.
+# 10. With --search: the indexed-search gate — the SEARCH correctness
+#    sweep (index ≡ scan equivalence proptests over mem/fs/logged
+#    repositories, the SEARCH-vs-DELETE race, gzip + fault-proxy
+#    round trips, pipelined framing on both cores), the JSON gateway
+#    unit suite, the cluster SEARCH routing tests, and
+#    repro_search --check (the planner must answer selective queries
+#    over 10k calculations >= 10x faster than a walk-and-scan with a
+#    byte-identical answer), emitting target/bench-json/search.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,12 +53,14 @@ STRESS=0
 C10K=0
 CLUSTER=0
 BULK=0
+SEARCH=0
 for arg in "$@"; do
     case "$arg" in
         --stress) STRESS=1 ;;
         --c10k) C10K=1 ;;
         --cluster) CLUSTER=1 ;;
         --bulk) BULK=1 ;;
+        --search) SEARCH=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -134,6 +144,19 @@ if [ "$BULK" = 1 ]; then
     echo "==> bulk gate: repro_table2 --delta --check (>= 10x wire-byte reduction)"
     cargo build --release -p pse-bench --bin repro_table2
     ./target/release/repro_table2 --delta --check
+fi
+
+if [ "$SEARCH" = 1 ]; then
+    echo "==> search gate: property index unit suite + planner/paging/gateway tests"
+    cargo test -q -p pse-dav --lib -- propindex:: search:: gateway::
+    echo "==> search gate: correctness sweep (equivalence proptests, vanish race, gzip, faults, pipelining)"
+    cargo test -q -p pse-dav --test search_equiv
+    echo "==> search gate: SEARCH routing + replica index coherence through the cluster"
+    cargo test -q --test cluster -- search_routes_to_replicas_and_replica_indexes_agree \
+        logged_repository_index_equivalent_to_scan
+    echo "==> search gate: repro_search --check (>= 10x over walk-and-scan on 10k resources)"
+    cargo build --release -p pse-bench --bin repro_search
+    ./target/release/repro_search --check
 fi
 
 echo "==> ci OK"

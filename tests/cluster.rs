@@ -564,3 +564,152 @@ fn compaction_forces_snapshot_resync() {
     primary.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---- indexed SEARCH across the cluster ----
+
+use davpse::dav::fsrepo::{FsConfig, FsRepository};
+use davpse::dav::repo::PropPatchOp;
+use davpse::dav::search::{self, Condition, Query};
+use pse_cluster::{ChangeLog, LoggedRepository};
+
+fn formula() -> PropertyName {
+    PropertyName::new("urn:cluster", "formula")
+}
+
+/// SEARCH is a read: the router must pin it to a replica shard like any
+/// PROPFIND, and the answer a replica serves from its log-applied index
+/// must match both the primary's and a from-scratch scan.
+#[test]
+fn search_routes_to_replicas_and_replica_indexes_agree() {
+    let cluster = Cluster::start("search", 2);
+    let mut c = cluster.client();
+    c.mkcol("/calcs").unwrap();
+    for i in 0..12 {
+        let p = format!("/calcs/job{i:02}");
+        c.put(&p, "geometry", None).unwrap();
+        c.proppatch(
+            &p,
+            &[Property::text(
+                formula(),
+                if i % 4 == 0 { "H2O" } else { "UO2" },
+            )],
+            &[],
+        )
+        .unwrap();
+    }
+    cluster.wait_replicas_caught_up(Duration::from_secs(10));
+
+    // Through the router: correct answer, served by a replica.
+    let registry = cluster.router.as_ref().unwrap().registry();
+    let before = registry.snapshot();
+    let ms = c.search_eq("/calcs", &formula(), "H2O").unwrap();
+    let mut hrefs: Vec<&str> = ms.responses.iter().map(|r| r.href.as_str()).collect();
+    hrefs.sort_unstable();
+    assert_eq!(
+        hrefs,
+        ["/calcs/job00", "/calcs/job04", "/calcs/job08"],
+        "SEARCH through the router returned the wrong matches"
+    );
+    let delta = registry.snapshot().delta(&before);
+    assert!(
+        delta.counter("cluster.router.reads_replica") > 0,
+        "SEARCH was not routed to a replica — misclassified as a write?"
+    );
+
+    // Paged SEARCH through the router: the cursor round-trips intact.
+    let paged = c
+        .search_eq_paged("/calcs", &formula(), "UO2", 4)
+        .unwrap();
+    assert_eq!(paged.len(), 9, "paged SEARCH lost matches: {paged:?}");
+
+    // On every node's repository directly: the planner must engage
+    // (the index was maintained purely by applying shipped change
+    // records on replicas) and agree with the scan byte-for-byte.
+    let q = Query::new("/calcs", Condition::Eq(formula(), "H2O".to_owned()));
+    let primary_repo = cluster.primary.as_ref().unwrap().repo();
+    let out = search::execute_paged(primary_repo.as_ref(), &q).unwrap();
+    assert!(out.indexed, "primary's logged repository did not use its index");
+    assert_eq!(
+        out.ms.to_xml(),
+        search::execute_scan(primary_repo.as_ref(), &q).unwrap().to_xml()
+    );
+    for (i, replica) in cluster.replicas.iter().enumerate() {
+        let out = search::execute_paged(replica.repo().as_ref(), &q).unwrap();
+        assert!(out.indexed, "replica {i} did not use its index");
+        assert_eq!(
+            out.ms.to_xml(),
+            search::execute_scan(replica.repo().as_ref(), &q)
+                .unwrap()
+                .to_xml(),
+            "replica {i}: index diverged from scan"
+        );
+    }
+}
+
+/// Index ≡ scan through the logging wrapper: every mutation is both
+/// journalled for shipping and mirrored into the index, and the two
+/// views must never drift.
+#[test]
+fn logged_repository_index_equivalent_to_scan() {
+    let dir = temp_dir("logged-eq");
+    let log = ChangeLog::open(&dir.join("log")).unwrap();
+    let repo = LoggedRepository::new(
+        FsRepository::create(&dir.join("data"), FsConfig::default()).unwrap(),
+        log,
+    );
+    let names = prop_names();
+    let vals = ["H2O", "UO2", "0", "-2.5", "3.5", "long"];
+    repo.mkcol("/a").unwrap();
+    repo.mkcol("/b").unwrap();
+    let mut rng = env_u64("PSE_CLUSTER_SEED", 7).wrapping_mul(0x9e3779b97f4a7c15);
+    for _ in 0..250 {
+        let p = format!("/{}/d{}", ["a", "b"][(lcg(&mut rng) % 2) as usize], lcg(&mut rng) % 5);
+        let name = &names[(lcg(&mut rng) as usize) % names.len()];
+        let val = vals[(lcg(&mut rng) as usize) % vals.len()];
+        match lcg(&mut rng) % 8 {
+            0 | 1 => {
+                let _ = repo.put(&p, b"body", None);
+            }
+            2 | 3 => {
+                let _ = repo.set_prop(&p, &Property::text(name.clone(), val));
+            }
+            4 => {
+                let _ = repo.remove_prop(&p, name);
+            }
+            5 => {
+                let _ = repo.patch_props(
+                    &p,
+                    &[PropPatchOp::Set(Property::text(name.clone(), val))],
+                );
+            }
+            6 => {
+                let _ = repo.delete(&p);
+            }
+            _ => {
+                let dst = format!("/b/d{}", lcg(&mut rng) % 5);
+                if dst != p {
+                    let _ = repo.copy(&p, &dst, true);
+                }
+            }
+        }
+    }
+    let mut conditions = vec![Condition::IsDefined(names[0].clone()), Condition::True];
+    for v in ["H2O", "0", "long"] {
+        conditions.push(Condition::Eq(names[1].clone(), v.to_owned()));
+    }
+    conditions.push(Condition::Gt(names[2].clone(), -1.0));
+    conditions.push(Condition::Lt(names[2].clone(), 1.0));
+    conditions.push(Condition::Or(vec![
+        Condition::Eq(names[0].clone(), "H2O".to_owned()),
+        Condition::Eq(names[0].clone(), "UO2".to_owned()),
+    ]));
+    for (i, cond) in conditions.into_iter().enumerate() {
+        let q = Query::new("/", cond);
+        assert_eq!(
+            search::execute(&repo, &q).unwrap().to_xml(),
+            search::execute_scan(&repo, &q).unwrap().to_xml(),
+            "logged repository: query #{i} diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
