@@ -21,19 +21,26 @@
 //! router can enforce read-your-writes; the primary stamps successful
 //! mutations with `X-Change-Seq` for the same purpose.
 //!
-//! Version histories and lock state live on the primary (replicas
-//! redirect `VERSION-CONTROL`/`LOCK` there), mirroring how mod_dav kept
-//! lock state out of the replicated data store.
+//! Lock state lives on the primary (replicas redirect `LOCK` there),
+//! mirroring how mod_dav kept lock state out of the replicated data
+//! store. Version state, by contrast, *is* replicated: the primary
+//! journals `VERSION-CONTROL`/`CHECKOUT`/`CHECKIN` into the change log
+//! (carrying the recorded body, so replay is deterministic even when a
+//! PUT raced the operation), and each replica maintains its own
+//! persistent [`VersionStore`] so history reads — `REPORT`, GET and
+//! PROPFIND under `/.well-known/history/` — are served locally with
+//! read-your-writes guarantees from `X-Applied-Seq`.
 
 use crate::apply::{Applier, ApplyError};
 use crate::log::{self, ChangeLog};
 use crate::logged::LoggedRepository;
+use crate::record::ChangeRecord;
 use pse_dav::error::Result;
 use pse_dav::fsrepo::{FsConfig, FsRepository};
 use pse_dav::handler::DavHandler;
 use pse_dav::property::{PropertyName, DAV_NS};
 use pse_dav::repo::Repository;
-use pse_dav::version::VersionStore;
+use pse_dav::version::{VersionEvent, VersionStore};
 use pse_dav::{DavClient, Depth};
 use pse_http::server::{Server, ServerConfig};
 use pse_http::{Client, Method, Request, Response, StatusCode};
@@ -79,6 +86,10 @@ pub struct NodeConfig {
     /// so read capacity scales with node count even on one CPU —
     /// sleeping workers cost no cycles, exactly like I/O-bound storage.
     pub service_delay: Duration,
+    /// Auto-version-on-PUT (the Ecce flow). Must match across the
+    /// primary and its replicas — replicas re-run the auto-version hook
+    /// while replaying Put records, so a mismatch would diverge.
+    pub auto_version: bool,
 }
 
 impl Default for NodeConfig {
@@ -93,6 +104,7 @@ impl Default for NodeConfig {
             batch_limit: 512,
             pull_interval: Duration::from_millis(5),
             service_delay: Duration::ZERO,
+            auto_version: true,
         }
     }
 }
@@ -158,6 +170,7 @@ pub struct Primary {
     repo: Arc<LoggedRepository<FsRepository>>,
     changelog: Arc<ChangeLog>,
     registry: Arc<Registry>,
+    versions: Arc<VersionStore>,
 }
 
 impl Primary {
@@ -172,8 +185,32 @@ impl Primary {
         let registry = Registry::new();
         changelog.register_obs(&registry, "cluster.primary.log");
         let versions = VersionStore::persistent(dir.join("versions")).map_err(io_err)?;
+        versions.set_auto_version(cfg.auto_version);
         let handler = DavHandler::with_parts(logged, Arc::clone(&registry), versions);
         let repo = handler.repo();
+        let versions = handler.versions();
+
+        // Journal version-state transitions into the change log. The
+        // hook runs with the path's version plan held, so per path the
+        // log interleaves Put and version records in effect order —
+        // which is what makes replica replay deterministic.
+        let journal_log = Arc::clone(&changelog);
+        handler.versions().set_journal(move |ev| {
+            let rec = match ev {
+                VersionEvent::VersionControl { path, content } => ChangeRecord::VersionControl {
+                    path: path.clone(),
+                    content: content.clone(),
+                },
+                VersionEvent::Checkout { path } => ChangeRecord::Checkout { path: path.clone() },
+                VersionEvent::Checkin { path, content } => ChangeRecord::Checkin {
+                    path: path.clone(),
+                    content: content.clone(),
+                },
+            };
+            if let Err(e) = journal_log.append(rec) {
+                eprintln!("pse-cluster: version journal append failed: {e}");
+            }
+        });
 
         let mut server_cfg = cfg.server.clone();
         server_cfg.obs = Some(Arc::clone(&registry));
@@ -203,6 +240,7 @@ impl Primary {
             repo,
             changelog,
             registry,
+            versions,
         })
     }
 
@@ -226,6 +264,11 @@ impl Primary {
         &self.repo
     }
 
+    /// The node's version store.
+    pub fn versions(&self) -> &Arc<VersionStore> {
+        &self.versions
+    }
+
     /// The node's metric registry.
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
@@ -243,6 +286,7 @@ pub struct Replica {
     repo: Arc<FsRepository>,
     applier: Arc<Applier>,
     registry: Arc<Registry>,
+    versions: Arc<VersionStore>,
     stop: Arc<AtomicBool>,
     puller: Option<JoinHandle<()>>,
 }
@@ -258,10 +302,19 @@ impl Replica {
     ) -> Result<Replica> {
         let io_err = |e: std::io::Error| pse_dav::DavError::Io(Arc::new(e));
         let repo = FsRepository::create(dir.join("data"), cfg.fs.clone())?;
-        let applier = Arc::new(Applier::open(dir).map_err(io_err)?);
         let registry = Registry::new();
-        let handler = DavHandler::with_registry(repo, Arc::clone(&registry));
+        let versions = VersionStore::persistent(dir.join("versions")).map_err(io_err)?;
+        versions.set_auto_version(cfg.auto_version);
+        let handler = DavHandler::with_parts(repo, Arc::clone(&registry), versions);
         let repo = handler.repo();
+        let versions = handler.versions();
+        // Replay version records (and Put auto-versioning) into the
+        // replica's own store so history reads are served locally.
+        let applier = Arc::new(
+            Applier::open(dir)
+                .map_err(io_err)?
+                .with_versions(Arc::clone(&versions)),
+        );
 
         let mut server_cfg = cfg.server.clone();
         server_cfg.obs = Some(Arc::clone(&registry));
@@ -304,6 +357,7 @@ impl Replica {
             repo,
             applier,
             registry,
+            versions,
             stop,
             puller: Some(puller),
         })
@@ -322,6 +376,11 @@ impl Replica {
     /// The replica's repository (tests compare its state to the primary's).
     pub fn repo(&self) -> &Arc<FsRepository> {
         &self.repo
+    }
+
+    /// The replica's version store (rebuilt from the change log).
+    pub fn versions(&self) -> &Arc<VersionStore> {
+        &self.versions
     }
 
     /// The node's metric registry.
@@ -460,6 +519,12 @@ fn interruptible_sleep(stop: &AtomicBool, total: Duration) {
 /// content, mirror the tree via `PROPFIND Depth: infinity` + `GET`, and
 /// jump the cursor to `target` (the primary's log head at `410` time —
 /// changes after it arrive through the normal feed).
+///
+/// Version histories are not part of the snapshot: the replica keeps
+/// whatever its persistent version store already holds, so histories
+/// recorded before the compaction horizon survive a resync, but
+/// version events that fell into the compacted gap are lost on this
+/// replica (history reads can be routed primary-side if that matters).
 fn full_resync(
     repo: &dyn Repository,
     applier: &Applier,

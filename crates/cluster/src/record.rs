@@ -77,6 +77,28 @@ pub enum ChangeRecord {
         /// Instructions in document order.
         ops: Vec<PropOp>,
     },
+    /// A resource was placed under version control. Carries the body
+    /// recorded as version 1 (not a repository path) so replay
+    /// reproduces the primary's history byte-for-byte even when a
+    /// concurrent PUT raced the operation on the primary.
+    VersionControl {
+        /// Normalised resource path.
+        path: String,
+        /// Body recorded as version 1.
+        content: Vec<u8>,
+    },
+    /// The resource was checked out (auto-versioning suspended).
+    Checkout {
+        /// Normalised resource path.
+        path: String,
+    },
+    /// The resource was checked in; `content` is the new version body.
+    Checkin {
+        /// Normalised resource path.
+        path: String,
+        /// Body the checkin recorded.
+        content: Vec<u8>,
+    },
 }
 
 /// A record paired with its monotonic sequence number.
@@ -99,6 +121,9 @@ const TAG_DELETE: u8 = 3;
 const TAG_COPY: u8 = 4;
 const TAG_RENAME: u8 = 5;
 const TAG_PATCH_PROPS: u8 = 6;
+const TAG_VERSION_CONTROL: u8 = 7;
+const TAG_CHECKOUT: u8 = 8;
+const TAG_CHECKIN: u8 = 9;
 
 const OP_SET: u8 = 1;
 const OP_REMOVE: u8 = 2;
@@ -238,6 +263,20 @@ impl ChangeRecord {
                     }
                 }
             }
+            ChangeRecord::VersionControl { path, content } => {
+                out.push(TAG_VERSION_CONTROL);
+                put_str(&mut out, path);
+                put_bytes(&mut out, content);
+            }
+            ChangeRecord::Checkout { path } => {
+                out.push(TAG_CHECKOUT);
+                put_str(&mut out, path);
+            }
+            ChangeRecord::Checkin { path, content } => {
+                out.push(TAG_CHECKIN);
+                put_str(&mut out, path);
+                put_bytes(&mut out, content);
+            }
         }
         out
     }
@@ -299,6 +338,15 @@ impl ChangeRecord {
                 }
                 ChangeRecord::PatchProps { path, ops }
             }
+            TAG_VERSION_CONTROL => ChangeRecord::VersionControl {
+                path: c.string()?,
+                content: c.bytes()?.to_vec(),
+            },
+            TAG_CHECKOUT => ChangeRecord::Checkout { path: c.string()? },
+            TAG_CHECKIN => ChangeRecord::Checkin {
+                path: c.string()?,
+                content: c.bytes()?.to_vec(),
+            },
             t => return Err(DecodeError::BadTag(t)),
         };
         if !c.done() {
@@ -316,6 +364,9 @@ impl ChangeRecord {
             ChangeRecord::Copy { .. } => "copy",
             ChangeRecord::Rename { .. } => "rename",
             ChangeRecord::PatchProps { .. } => "patch_props",
+            ChangeRecord::VersionControl { .. } => "version_control",
+            ChangeRecord::Checkout { .. } => "checkout",
+            ChangeRecord::Checkin { .. } => "checkin",
         }
     }
 }
@@ -368,6 +419,17 @@ mod tests {
                         name: PropertyName::new("urn:x", "p1"),
                     },
                 ],
+            },
+            ChangeRecord::VersionControl {
+                path: "/v/doc".into(),
+                content: b"version one \x00\xff".to_vec(),
+            },
+            ChangeRecord::Checkout {
+                path: "/v/doc".into(),
+            },
+            ChangeRecord::Checkin {
+                path: "/v/doc".into(),
+                content: Vec::new(),
             },
         ]
     }

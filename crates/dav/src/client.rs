@@ -23,6 +23,21 @@ use std::net::ToSocketAddrs;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// One entry of a version-tree report (see [`DavClient::versions`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionEntry {
+    /// 1-based version number.
+    pub number: u32,
+    /// Body length in bytes.
+    pub len: u64,
+    /// ISO-8601 creation date.
+    pub created: String,
+    /// Is this the checked-in (newest, not checked-out) version?
+    pub checked_in: bool,
+    /// The version's history URL (`/.well-known/history/<path>/<n>`).
+    pub href: String,
+}
+
 /// How multistatus bodies are parsed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParseMode {
@@ -1027,6 +1042,65 @@ impl DavClient {
         let req = Request::new(Method::Report, path).with_xml_body(body);
         let resp = self.http.send(req)?;
         Ok(self.expect(resp, &[200], "REPORT version-content")?.body)
+    }
+
+    /// CHECKOUT: suspend auto-versioning on `path` until [`checkin`]
+    /// (RFC 3253 working-resource flow, collapsed to in-place editing).
+    ///
+    /// [`checkin`]: Self::checkin
+    pub fn checkout(&mut self, path: &str) -> Result<()> {
+        let resp = self.http.send(Request::new(Method::Checkout, path))?;
+        self.expect(resp, &[200], "CHECKOUT")?;
+        Ok(())
+    }
+
+    /// CHECKIN: record exactly one new version from the current content
+    /// and resume normal gating. Returns the new version number.
+    pub fn checkin(&mut self, path: &str) -> Result<u32> {
+        let resp = self.http.send(Request::new(Method::Checkin, path))?;
+        let resp = self.expect(resp, &[201], "CHECKIN")?;
+        resp.headers
+            .get("X-Version")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| DavError::BadRequest("CHECKIN answered without X-Version".into()))
+    }
+
+    /// Full version metadata for a versioned document, oldest first.
+    pub fn versions(&mut self, path: &str) -> Result<Vec<VersionEntry>> {
+        let req = Request::new(Method::Report, path)
+            .with_xml_body(r#"<D:version-tree xmlns:D="DAV:"/>"#);
+        let resp = self.http.send(req)?;
+        let resp = self.expect(resp, &[200], "REPORT version-tree")?;
+        let doc = Document::parse(&resp.body_text())?;
+        let mut out = Vec::new();
+        for v in doc.root().children_named(Some(DAV_NS), "version") {
+            let text = |name: &str| {
+                v.child(Some(DAV_NS), name)
+                    .map(|n| n.text().trim().to_owned())
+                    .unwrap_or_default()
+            };
+            out.push(VersionEntry {
+                number: text("version-name").parse().unwrap_or(0),
+                len: text("getcontentlength").parse().unwrap_or(0),
+                created: text("creationdate"),
+                checked_in: text("checked-in") == "true",
+                href: text("href"),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Revert `path` to its stored version `number`: COPY from the
+    /// version's history URL onto the live resource. The revert is
+    /// itself recorded as a new version (auto-version mode) or requires
+    /// a prior [`checkout`](Self::checkout) (manual mode).
+    pub fn revert_to(&mut self, path: &str, number: u32) -> Result<()> {
+        let src = crate::version::history_url(path, number);
+        let req = Request::new(Method::Copy, &src).with_header("Destination", path);
+        let resp = self.http.send(req)?;
+        self.invalidate_cached(path);
+        self.expect(resp, &[201, 204], "COPY (revert)")?;
+        Ok(())
     }
 
     /// ORDERPATCH: move `member` within collection `path`.

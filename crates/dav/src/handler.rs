@@ -15,7 +15,7 @@ use crate::order;
 use crate::property::{Property, PropertyName, PropfindKind, DAV_NS};
 use crate::repo::{PropPatchOp, Repository, StageStatus};
 use crate::search;
-use crate::version::VersionStore;
+use crate::version::{HistoryTarget, VersionMeta, VersionStore};
 use pse_http::{Method, Request, Response, StatusCode};
 use pse_obs::Registry;
 use pse_xml::dom::{Document, Element};
@@ -62,10 +62,12 @@ impl<R: Repository> DavHandler<R> {
     pub fn with_parts(repo: R, registry: Arc<Registry>, versions: VersionStore) -> DavHandler<R> {
         let repo = Arc::new(repo);
         repo.register_obs(&registry);
+        let versions = Arc::new(versions);
+        versions.register_obs(&registry, "dav.versions");
         DavHandler {
             repo,
             locks: Arc::new(LockManager::new()),
-            versions: Arc::new(versions),
+            versions,
             obs: registry,
         }
     }
@@ -78,6 +80,12 @@ impl<R: Repository> DavHandler<R> {
     /// Shared access to the lock table.
     pub fn locks(&self) -> Arc<LockManager> {
         Arc::clone(&self.locks)
+    }
+
+    /// Shared access to the version store (used by replication wiring
+    /// and tests).
+    pub fn versions(&self) -> Arc<VersionStore> {
+        Arc::clone(&self.versions)
     }
 
     /// The metric registry this handler records into.
@@ -126,6 +134,12 @@ impl<R: Repository> DavHandler<R> {
         if let Some(resp) = crate::gateway::intercept(self.repo.as_ref(), &req) {
             return resp;
         }
+        // Version histories own their URL prefix the same way: read-only
+        // resources served before method dispatch (COPY falls through —
+        // COPY *from* a version URL is the revert flow in copy_move).
+        if let Some(resp) = self.history(&req) {
+            return resp;
+        }
         let result = match req.method {
             Method::Options => self.options(&req),
             Method::Get => self.get(&req, false),
@@ -142,9 +156,8 @@ impl<R: Repository> DavHandler<R> {
             Method::Search => search::handle(self.repo.as_ref(), &req),
             Method::VersionControl => self.versions.version_control(self.repo.as_ref(), &req),
             Method::Report => self.versions.report(self.repo.as_ref(), &req),
-            Method::Checkout | Method::Checkin => Err(DavError::BadRequest(
-                "explicit checkout is not required; versioned resources auto-version".into(),
-            )),
+            Method::Checkout => self.versions.checkout(self.repo.as_ref(), &req),
+            Method::Checkin => self.versions.checkin(self.repo.as_ref(), &req),
             Method::OrderPatch => order::handle(self.repo.as_ref(), &req),
             Method::Post | Method::Trace | Method::Extension(_) => {
                 return Response::error(StatusCode::NOT_IMPLEMENTED, "method not implemented")
@@ -189,12 +202,13 @@ impl<R: Repository> DavHandler<R> {
 
     fn options(&self, _req: &Request) -> Result<Response> {
         Ok(Response::ok()
-            .with_header("DAV", "1,2,ordered-collections")
+            .with_header("DAV", "1,2,version-control,ordered-collections")
             .with_header("MS-Author-Via", "DAV")
             .with_header(
                 "Allow",
                 "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, COPY, MOVE, \
-                 PROPFIND, PROPPATCH, LOCK, UNLOCK, SEARCH, VERSION-CONTROL, REPORT, ORDERPATCH",
+                 PROPFIND, PROPPATCH, LOCK, UNLOCK, SEARCH, VERSION-CONTROL, \
+                 CHECKOUT, CHECKIN, REPORT, ORDERPATCH",
             ))
     }
 
@@ -338,6 +352,13 @@ impl<R: Repository> DavHandler<R> {
             }
         }
         self.check_lock(req, path)?;
+        // DeltaV: hold the version write plan across the repository
+        // write AND the history append, so REPORT (which takes the read
+        // plan) can never observe the repository ahead of the history;
+        // then refuse the write outright if the resource is checked in
+        // and auto-versioning is off (RFC 3253 §3.10).
+        let _vplan = self.versions.plan_write(path);
+        self.versions.check_put_allowed(path)?;
         if req.headers.get("Content-Range").is_some() || req.headers.get("X-Copy-From").is_some() {
             return self.put_partial(req, path);
         }
@@ -482,6 +503,17 @@ impl<R: Repository> DavHandler<R> {
             .get("Destination")
             .ok_or_else(|| DavError::BadRequest("missing Destination header".into()))?;
         let dst = pse_http::uri::Target::parse(dst_raw).path().to_owned();
+        // COPY from a version URL is the DeltaV revert flow; anything
+        // else aimed at the history space is refused (it is read-only).
+        if src.starts_with(crate::version::HISTORY_PREFIX) {
+            return self.revert(req, &src, &dst, is_move);
+        }
+        if dst.starts_with(crate::version::HISTORY_PREFIX) {
+            return Ok(Response::error(
+                StatusCode::FORBIDDEN,
+                "version history is read-only",
+            ));
+        }
         if dst == src {
             return Err(DavError::PreconditionFailed(
                 "source and destination are the same resource".into(),
@@ -515,7 +547,13 @@ impl<R: Repository> DavHandler<R> {
             }
             !existed
         } else if is_move {
+            // History follows the document. (Children of a moved
+            // collection keep their histories at the old paths — a
+            // documented limitation; version-control documents, not
+            // trees.)
+            let _vplan = self.versions.plan_rename(&src, &dst);
             let created = self.repo.rename(&src, &dst, overwrite)?;
+            self.versions.rename(&src, &dst);
             self.locks.forget_subtree(&src);
             created
         } else {
@@ -526,6 +564,189 @@ impl<R: Repository> DavHandler<R> {
         } else {
             Response::no_content()
         })
+    }
+
+    // ---- DeltaV history resources ----
+
+    /// COPY whose source is a version URL: write that version's body
+    /// over `dst` — the revert flow. Routed through the same gating and
+    /// auto-versioning as PUT, so a revert is itself a recorded edit.
+    fn revert(&self, req: &Request, src: &str, dst: &str, is_move: bool) -> Result<Response> {
+        if is_move {
+            return Ok(Response::error(
+                StatusCode::FORBIDDEN,
+                "version history is read-only; COPY from a version URL to revert",
+            ));
+        }
+        let Some(HistoryTarget::Version(vpath, number)) = self.versions.parse_history_target(src)
+        else {
+            return Ok(Response::error(
+                StatusCode::FORBIDDEN,
+                "COPY a single version URL (/.well-known/history/<path>/<n>) to revert",
+            ));
+        };
+        if dst.starts_with(crate::version::HISTORY_PREFIX) {
+            return Ok(Response::error(
+                StatusCode::FORBIDDEN,
+                "version history is read-only",
+            ));
+        }
+        let overwrite = !matches!(req.headers.get("Overwrite").map(str::trim), Some("F"));
+        let ifh = IfHeader::parse(req.headers.get("If"));
+        self.locks.check_write_recursive(dst, &ifh.tokens)?;
+        if !overwrite && self.repo.exists(dst) {
+            return Err(DavError::PreconditionFailed(format!("{dst} exists")));
+        }
+        let _vplan = self.versions.plan_write(dst);
+        self.versions.check_put_allowed(dst)?;
+        let body = self.versions.version_body(vpath, number)?;
+        let created = self.repo.put(dst, &body, None)?;
+        self.versions.record_put(dst, &body);
+        self.versions.note_revert();
+        if self.obs.is_enabled() {
+            self.obs.counter("dav.version_reverts").inc();
+        }
+        self.put_response(dst, created)
+    }
+
+    /// Serve `/.well-known/history/...` — version histories as
+    /// read-only DAV resources. GET/HEAD a version URL for its body,
+    /// PROPFIND for live props; every mutating method answers 403.
+    fn history(&self, req: &Request) -> Option<Response> {
+        let target = req.target.path();
+        let under = target == crate::version::HISTORY_PREFIX
+            || target
+                .strip_prefix(crate::version::HISTORY_PREFIX)
+                .is_some_and(|r| r.starts_with('/'));
+        if !under || req.method == Method::Copy {
+            return None;
+        }
+        let result = match req.method {
+            Method::Get | Method::Head => self.history_get(req),
+            Method::PropFind => self.history_propfind(req),
+            Method::Options => Ok(Response::ok()
+                .with_header("DAV", "1,2,version-control,ordered-collections")
+                .with_header("Allow", "OPTIONS, GET, HEAD, PROPFIND, COPY")),
+            _ => Ok(Response::error(
+                StatusCode::FORBIDDEN,
+                "version history is read-only (GET, HEAD, PROPFIND, COPY-from only)",
+            )),
+        };
+        Some(result.unwrap_or_else(|e| Response::error(e.status(), &e.to_string())))
+    }
+
+    fn history_get(&self, req: &Request) -> Result<Response> {
+        let head = req.method == Method::Head;
+        match self.versions.parse_history_target(req.target.path()) {
+            Some(HistoryTarget::Version(path, number)) => {
+                let _plan = self.versions.plan_read(path);
+                let meta = self
+                    .versions
+                    .version_meta(path, number)
+                    .ok_or_else(|| DavError::NotFound(format!("{path} version {number}")))?;
+                let body = self.versions.version_body(path, number)?;
+                Ok(Response::ok()
+                    .with_header("Content-Type", "application/octet-stream")
+                    .with_header("ETag", version_etag(&meta))
+                    .with_header(
+                        "Last-Modified",
+                        crate::repo::format_http_date(
+                            std::time::UNIX_EPOCH + Duration::from_secs(meta.created),
+                        ),
+                    )
+                    .with_header("X-Version", number.to_string())
+                    .with_body(if head { Vec::new() } else { body }))
+            }
+            Some(HistoryTarget::Index(path)) => {
+                let _plan = self.versions.plan_read(path);
+                let (metas, _) = self
+                    .versions
+                    .versions_of(path)
+                    .ok_or_else(|| DavError::NotFound(path.to_owned()))?;
+                let mut html = String::from("<html><body><h1>History ");
+                html.push_str(path);
+                html.push_str("</h1><ul>");
+                for m in &metas {
+                    let href = pse_http::uri::percent_encode_path(&crate::version::history_url(
+                        path, m.number,
+                    ));
+                    html.push_str(&format!(
+                        "<li><a href=\"{href}\">version {}</a> ({} bytes)</li>",
+                        m.number, m.len
+                    ));
+                }
+                html.push_str("</ul></body></html>");
+                Ok(Response::ok()
+                    .with_header("Content-Type", "text/html")
+                    .with_body(if head { Vec::new() } else { html.into_bytes() }))
+            }
+            None => Err(DavError::NotFound(req.target.path().to_owned())),
+        }
+    }
+
+    fn history_propfind(&self, req: &Request) -> Result<Response> {
+        let depth = Depth::parse(req.headers.get("Depth"));
+        let mut ms = Multistatus::new();
+        match self.versions.parse_history_target(req.target.path()) {
+            Some(HistoryTarget::Version(path, number)) => {
+                let _plan = self.versions.plan_read(path);
+                let (metas, checked_out) = self
+                    .versions
+                    .versions_of(path)
+                    .ok_or_else(|| DavError::NotFound(path.to_owned()))?;
+                let meta = metas
+                    .iter()
+                    .find(|m| m.number == number)
+                    .copied()
+                    .ok_or_else(|| DavError::NotFound(format!("{path} version {number}")))?;
+                let newest = metas.last().map(|m| m.number);
+                let checked_in = !checked_out && newest == Some(number);
+                ms.push_propstats(
+                    &crate::version::history_url(path, number),
+                    vec![PropStat {
+                        props: version_props(&meta, checked_in),
+                        status: StatusCode::OK,
+                    }],
+                );
+            }
+            Some(HistoryTarget::Index(path)) => {
+                let _plan = self.versions.plan_read(path);
+                let (metas, checked_out) = self
+                    .versions
+                    .versions_of(path)
+                    .ok_or_else(|| DavError::NotFound(path.to_owned()))?;
+                let mut rt = Element::new(Some(DAV_NS), "resourcetype");
+                rt.push_elem(Element::new(Some(DAV_NS), "collection"));
+                ms.push_propstats(
+                    &format!("{}{}", crate::version::HISTORY_PREFIX, path),
+                    vec![PropStat {
+                        props: vec![
+                            Property::from_element(rt),
+                            Property::text(
+                                PropertyName::dav("displayname"),
+                                &format!("history of {path}"),
+                            ),
+                        ],
+                        status: StatusCode::OK,
+                    }],
+                );
+                if depth != Depth::Zero {
+                    let newest = metas.last().map(|m| m.number);
+                    for m in &metas {
+                        let checked_in = !checked_out && newest == Some(m.number);
+                        ms.push_propstats(
+                            &crate::version::history_url(path, m.number),
+                            vec![PropStat {
+                                props: version_props(m, checked_in),
+                                status: StatusCode::OK,
+                            }],
+                        );
+                    }
+                }
+            }
+            None => return Err(DavError::NotFound(req.target.path().to_owned())),
+        }
+        Ok(Response::new(StatusCode::MULTI_STATUS).with_xml_body(ms.to_xml()))
     }
 
     // ---- PROPFIND ----
@@ -864,6 +1085,34 @@ impl<R: Repository> DavHandler<R> {
         self.locks.unlock(path, &token)?;
         Ok(Response::no_content())
     }
+}
+
+/// Strong entity tag of one immutable stored version.
+fn version_etag(meta: &VersionMeta) -> String {
+    format!("\"v{}-{}-{}\"", meta.number, meta.len, meta.created)
+}
+
+/// Live properties of one version resource (RFC 3253's version-name /
+/// creationdate plus the checked-in flag and standard entity props).
+fn version_props(meta: &VersionMeta, checked_in: bool) -> Vec<Property> {
+    let created = std::time::UNIX_EPOCH + Duration::from_secs(meta.created);
+    vec![
+        Property::text(PropertyName::dav("version-name"), &meta.number.to_string()),
+        Property::text(
+            PropertyName::dav("creationdate"),
+            &crate::repo::format_iso8601(created),
+        ),
+        Property::text(
+            PropertyName::dav("getcontentlength"),
+            &meta.len.to_string(),
+        ),
+        Property::text(
+            PropertyName::dav("checked-in"),
+            if checked_in { "true" } else { "false" },
+        ),
+        Property::text(PropertyName::dav("getetag"), &version_etag(meta)),
+        Property::from_element(Element::new(Some(DAV_NS), "resourcetype")),
+    ]
 }
 
 /// Parse an `X-Copy-From: bytes=s-e` header into its inclusive byte

@@ -1,65 +1,254 @@
-//! DeltaV-lite linear versioning.
+//! DeltaV versioning (RFC 3253 minimal profile) over a
+//! content-addressed chunk store.
 //!
 //! The paper tracks the "Goals for Web Versioning" (DeltaV) drafts as a
-//! promised capability. This module provides the useful core for a PSE:
+//! promised capability; this module supplies the profile a PSE needs:
 //!
-//! * `VERSION-CONTROL` on a document starts its history (version 1 =
-//!   current content);
-//! * every subsequent `PUT` **auto-versions**: the pre-PUT content is
-//!   snapshotted (checked by the handler via
-//!   [`VersionStore::snapshot_if_versioned`]);
-//! * `REPORT` with `DAV:version-tree` lists the history, and with
-//!   `DAV:version-content` retrieves one version's body.
+//! * `VERSION-CONTROL` starts a history (version 1 = current content);
+//! * in **auto-version** mode (the Ecce flow, default) every `PUT`
+//!   appends a version; in manual mode a `PUT` against a checked-in
+//!   resource is refused until `CHECKOUT`;
+//! * `CHECKOUT` suspends auto-versioning and `CHECKIN` records exactly
+//!   one new version from the then-current content — a storm of PUTs
+//!   between the two collapses into a single revision;
+//! * `REPORT` serves `DAV:version-tree` / `DAV:version-content`;
+//! * every version is a read-only DAV resource under
+//!   [`HISTORY_PREFIX`]` /<path>/<n>` answering GET and PROPFIND, so
+//!   `COPY` from a version URL reverts a document.
+//!
+//! Storage is content-addressed: bodies are Gear-chunked
+//! ([`crate::cdc`]) and chunks are keyed by FNV-1a hash with
+//! byte-compared buckets (a hash collision lands in a second bucket, it
+//! never aliases). Chunks are ref-counted across every version of every
+//! resource, so a 1% edit costs ~1% new bytes and pruning a history
+//! garbage-collects exactly the chunks nothing references any more.
 //!
 //! Histories are held by the server (not the repository), mirroring how
-//! mod_dav kept lock state out of the data store.
+//! mod_dav kept lock state out of the data store. Consistency with the
+//! live resource is enforced by the store's own [`PathLocks`]: writers
+//! (the handler's PUT path, CHECKIN, VERSION-CONTROL) hold the write
+//! plan across *both* the repository mutation and the history append,
+//! and `REPORT` takes the read plan, so a report can never observe a
+//! half-recorded version (repository content newer than its history).
 
+use crate::cdc::{self, ChunkParams};
 use crate::error::{DavError, Result};
+use crate::pathlock::{PathGuard, PathLocks};
 use crate::property::DAV_NS;
-use crate::repo::Repository;
+use crate::repo::{format_iso8601, Repository};
 use parking_lot::Mutex;
 use pse_http::{Request, Response, StatusCode};
 use pse_xml::dom::{Document, Element};
 use pse_xml::writer::Writer;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{SystemTime, UNIX_EPOCH};
 
-/// One stored version of a document.
-#[derive(Debug, Clone)]
-pub struct Version {
-    /// 1-based version number.
-    pub number: u32,
-    /// The document body at that version.
-    pub content: Vec<u8>,
+/// URL prefix version histories are served under. The history of
+/// `/proj/calc.out` lives at `/.well-known/history/proj/calc.out`, its
+/// third version at `/.well-known/history/proj/calc.out/3`.
+pub const HISTORY_PREFIX: &str = "/.well-known/history";
+
+/// The history URL of one stored version.
+pub fn history_url(path: &str, number: u32) -> String {
+    format!("{HISTORY_PREFIX}{path}/{number}")
 }
 
-/// The server-side version history table.
+/// Identity of one stored chunk: content hash plus the index among
+/// same-hash chunks (buckets are byte-compared on insert, so two
+/// colliding chunks get distinct buckets and never alias).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ChunkId {
+    hash: u64,
+    bucket: u32,
+}
+
+/// One slot in a hash's bucket list. `data: None` is a tombstone left
+/// by GC — the slot may be re-used by a future insert, keeping earlier
+/// buckets' indices stable.
+#[derive(Debug)]
+struct Bucket {
+    data: Option<Vec<u8>>,
+    refs: u64,
+}
+
+/// Public metadata of one stored version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionMeta {
+    /// 1-based, monotonically increasing (pruning keeps later numbers).
+    pub number: u32,
+    /// Unix seconds at which the version was recorded.
+    pub created: u64,
+    /// Body length in bytes.
+    pub len: u64,
+}
+
+#[derive(Debug, Clone)]
+struct VersionRec {
+    number: u32,
+    created: u64,
+    len: u64,
+    chunks: Vec<ChunkId>,
+}
+
+impl VersionRec {
+    fn meta(&self) -> VersionMeta {
+        VersionMeta {
+            number: self.number,
+            created: self.created,
+            len: self.len,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
+struct History {
+    versions: Vec<VersionRec>,
+    checked_out: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    histories: HashMap<String, History>,
+    chunks: HashMap<u64, Vec<Bucket>>,
+}
+
+/// A version-state mutation, emitted to the journal hook so a
+/// replicated deployment can ship it through the change log. The
+/// events carry the recorded content (not a repository path) so replay
+/// on a replica reproduces the primary's history byte-for-byte even
+/// when a concurrent PUT raced the operation on the primary.
+#[derive(Debug, Clone)]
+pub enum VersionEvent {
+    /// A resource was put under version control; `content` is version 1.
+    VersionControl {
+        /// Resource path.
+        path: String,
+        /// Body recorded as version 1.
+        content: Vec<u8>,
+    },
+    /// The resource was checked out (auto-versioning suspended).
+    Checkout {
+        /// Resource path.
+        path: String,
+    },
+    /// The resource was checked in; `content` is the new version body.
+    Checkin {
+        /// Resource path.
+        path: String,
+        /// Body recorded by the checkin.
+        content: Vec<u8>,
+    },
+}
+
+/// Aggregate store statistics (see [`VersionStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionStats {
+    /// Resources under version control.
+    pub resources: u64,
+    /// Stored versions across all resources.
+    pub versions: u64,
+    /// Live (referenced) chunks.
+    pub chunks: u64,
+    /// Bytes held by live chunks — the store's physical footprint.
+    pub chunk_bytes: u64,
+    /// Sum of all version body lengths — what full snapshots would cost.
+    pub logical_bytes: u64,
+    /// Resources currently checked out.
+    pub checked_out: u64,
+}
+
+/// A resolved `/.well-known/history/...` target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryTarget<'a> {
+    /// The history index of a versioned resource.
+    Index(&'a str),
+    /// One version of a versioned resource.
+    Version(&'a str, u32),
+}
+
+type Journal = Box<dyn Fn(&VersionEvent) + Send + Sync>;
+
+/// The server-side version store.
 pub struct VersionStore {
-    histories: Mutex<HashMap<String, Vec<Version>>>,
-    /// When set, every history is written through to one file per
-    /// resource under this directory and reloaded on startup, so
-    /// `VERSION-CONTROL` state survives a server restart.
+    inner: Mutex<Inner>,
+    /// Hierarchy-aware plans serialising version-visible mutations of a
+    /// resource (repository write + history append) against `REPORT`.
+    locks: Arc<PathLocks>,
+    /// When set, chunks and history manifests are written through under
+    /// this directory (`chunks/`, `meta/`) and reloaded on startup.
     dir: Option<PathBuf>,
+    /// Auto-version-on-PUT (the Ecce flow). When false, a PUT against a
+    /// checked-in versioned resource is refused with 409.
+    auto_version: AtomicBool,
+    journal: OnceLock<Journal>,
+    checkouts: AtomicU64,
+    checkins: AtomicU64,
+    reverts: AtomicU64,
+    recorded: AtomicU64,
+    gc_chunks: AtomicU64,
+    gc_bytes: AtomicU64,
+}
+
+impl std::fmt::Debug for VersionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionStore")
+            .field("dir", &self.dir)
+            .field("auto_version", &self.auto_version.load(Ordering::Relaxed))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for VersionStore {
+    fn default() -> Self {
+        VersionStore::new()
+    }
+}
+
+fn now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 impl VersionStore {
-    /// An empty, memory-only store.
+    /// An empty, memory-only store in auto-version mode.
     pub fn new() -> VersionStore {
-        VersionStore::default()
+        VersionStore {
+            inner: Mutex::new(Inner::default()),
+            locks: Arc::new(PathLocks::new(crate::pathlock::DEFAULT_SHARDS, false)),
+            dir: None,
+            auto_version: AtomicBool::new(true),
+            journal: OnceLock::new(),
+            checkouts: AtomicU64::new(0),
+            checkins: AtomicU64::new(0),
+            reverts: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            gc_chunks: AtomicU64::new(0),
+            gc_bytes: AtomicU64::new(0),
+        }
     }
 
     /// A store persisted under `dir` (created if absent), pre-loaded
-    /// with every history a previous process left there. Unreadable or
-    /// corrupt history files are skipped, not fatal: losing a version
-    /// tree degrades DeltaV, it must not take the data store down.
+    /// with every history a previous process left there. A history
+    /// whose manifest is corrupt, or that references a missing or
+    /// corrupt chunk, is skipped, not fatal: losing a version tree
+    /// degrades DeltaV, it must not take the data store down. Chunk
+    /// files nothing references any more are deleted on load.
     pub fn persistent(dir: impl Into<PathBuf>) -> std::io::Result<VersionStore> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        let mut histories = HashMap::new();
-        for entry in fs::read_dir(&dir)? {
+        fs::create_dir_all(dir.join("chunks"))?;
+        fs::create_dir_all(dir.join("meta"))?;
+
+        // Pass 1: decode every manifest.
+        let mut histories: HashMap<String, History> = HashMap::new();
+        for entry in fs::read_dir(dir.join("meta"))? {
             let Ok(entry) = entry else { continue };
             if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
                 continue;
@@ -67,109 +256,571 @@ impl VersionStore {
             let Ok(bytes) = fs::read(entry.path()) else { continue };
             if let Some((path, history)) = decode_history(&bytes) {
                 histories.insert(path, history);
+            } else {
+                eprintln!(
+                    "pse-dav: skipping corrupt version manifest {:?}",
+                    entry.path()
+                );
             }
         }
+
+        // Pass 2: load every referenced chunk, verifying its hash.
+        let mut needed: HashSet<ChunkId> = HashSet::new();
+        for h in histories.values() {
+            for v in &h.versions {
+                needed.extend(v.chunks.iter().copied());
+            }
+        }
+        let mut loaded: HashMap<ChunkId, Vec<u8>> = HashMap::new();
+        let mut bad: HashSet<ChunkId> = HashSet::new();
+        for id in &needed {
+            let file = dir.join("chunks").join(chunk_filename(*id));
+            match fs::read(&file) {
+                Ok(data) if pse_cache::fnv1a_64(&data) == id.hash => {
+                    loaded.insert(*id, data);
+                }
+                _ => {
+                    bad.insert(*id);
+                }
+            }
+        }
+
+        // Pass 3: drop histories that reference unreadable chunks, then
+        // rebuild refcounts from the survivors.
+        if !bad.is_empty() {
+            histories.retain(|path, h| {
+                let ok = h
+                    .versions
+                    .iter()
+                    .all(|v| v.chunks.iter().all(|id| !bad.contains(id)));
+                if !ok {
+                    eprintln!("pse-dav: dropping version history of {path}: missing chunks");
+                    let _ = fs::remove_file(dir.join("meta").join(escape_history_filename(path)));
+                }
+                ok
+            });
+        }
+        let mut refs: HashMap<ChunkId, u64> = HashMap::new();
+        for h in histories.values() {
+            for v in &h.versions {
+                for id in &v.chunks {
+                    *refs.entry(*id).or_default() += 1;
+                }
+            }
+        }
+        let mut chunks: HashMap<u64, Vec<Bucket>> = HashMap::new();
+        for (id, count) in &refs {
+            let vec = chunks.entry(id.hash).or_default();
+            while vec.len() <= id.bucket as usize {
+                vec.push(Bucket {
+                    data: None,
+                    refs: 0,
+                });
+            }
+            let slot = &mut vec[id.bucket as usize];
+            slot.data = loaded.remove(id);
+            slot.refs = *count;
+        }
+
+        // Pass 4: orphaned chunk files (no surviving reference) go.
+        if let Ok(entries) = fs::read_dir(dir.join("chunks")) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let referenced = name
+                    .to_str()
+                    .and_then(parse_chunk_filename)
+                    .is_some_and(|id| refs.contains_key(&id));
+                if !referenced {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+
+        let store = VersionStore::new();
+        *store.inner.lock() = Inner { histories, chunks };
         Ok(VersionStore {
-            histories: Mutex::new(histories),
             dir: Some(dir),
+            ..store
         })
     }
 
-    /// Write `path`'s history through to disk (no-op for memory-only
-    /// stores). Called with the histories lock held, so persisted state
-    /// never interleaves between two concurrent mutations.
-    fn persist(&self, path: &str, history: &[Version]) {
-        let Some(dir) = &self.dir else { return };
-        let file = dir.join(escape_history_filename(path));
-        let tmp = dir.join(format!("{}.tmp", escape_history_filename(path)));
-        let bytes = encode_history(path, history);
-        let write = || -> std::io::Result<()> {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_data()?;
-            fs::rename(&tmp, &file)
-        };
-        if let Err(e) = write() {
-            eprintln!("pse-dav: failed to persist version history for {path}: {e}");
+    // ---- configuration & wiring ----
+
+    /// Auto-version-on-PUT mode (default true). In manual mode a PUT
+    /// against a checked-in versioned resource answers 409 until a
+    /// `CHECKOUT`. In a replicated deployment the mode must match on
+    /// every node — replicas replay the primary's decisions.
+    pub fn set_auto_version(&self, on: bool) {
+        self.auto_version.store(on, Ordering::Relaxed);
+    }
+
+    /// Is auto-version-on-PUT active?
+    pub fn auto_version(&self) -> bool {
+        self.auto_version.load(Ordering::Relaxed)
+    }
+
+    /// Install the journal hook (once). Called with the path's write
+    /// plan held, in the order operations took effect, so a change-log
+    /// appender sees version events in replayable order.
+    pub fn set_journal(&self, hook: impl Fn(&VersionEvent) + Send + Sync + 'static) {
+        let _ = self.journal.set(Box::new(hook));
+    }
+
+    fn emit(&self, event: VersionEvent) {
+        if let Some(hook) = self.journal.get() {
+            hook(&event);
         }
     }
 
+    // ---- lock plans (shared with the handler) ----
+
+    /// Write plan for `path`: held by the handler across a versioned
+    /// PUT (repository write + [`record_put`](Self::record_put)) so no
+    /// reader can observe the repository ahead of the history.
+    pub fn plan_write(&self, path: &str) -> PathGuard<'_> {
+        self.locks.write(path)
+    }
+
+    /// Read plan for `path` (see [`plan_write`](Self::plan_write)).
+    pub fn plan_read(&self, path: &str) -> PathGuard<'_> {
+        self.locks.read(path)
+    }
+
+    /// Write plan covering both ends of a rename.
+    pub fn plan_rename(&self, src: &str, dst: &str) -> PathGuard<'_> {
+        self.locks.rename_pair(src, dst)
+    }
+
+    // ---- queries ----
+
     /// Is `path` under version control?
     pub fn is_versioned(&self, path: &str) -> bool {
-        self.histories.lock().contains_key(path)
+        self.inner.lock().histories.contains_key(path)
     }
 
     /// Number of stored versions for `path`.
     pub fn version_count(&self, path: &str) -> usize {
-        self.histories.lock().get(path).map_or(0, Vec::len)
+        self.inner
+            .lock()
+            .histories
+            .get(path)
+            .map_or(0, |h| h.versions.len())
     }
 
-    /// Handle `VERSION-CONTROL`: put the target under version control.
+    /// Is `path` currently checked out?
+    pub fn is_checked_out(&self, path: &str) -> bool {
+        self.inner
+            .lock()
+            .histories
+            .get(path)
+            .is_some_and(|h| h.checked_out)
+    }
+
+    /// Version metadata for `path` (None when not versioned), plus the
+    /// checked-out flag.
+    pub fn versions_of(&self, path: &str) -> Option<(Vec<VersionMeta>, bool)> {
+        let inner = self.inner.lock();
+        let h = inner.histories.get(path)?;
+        Some((h.versions.iter().map(VersionRec::meta).collect(), h.checked_out))
+    }
+
+    /// Metadata of one version.
+    pub fn version_meta(&self, path: &str, number: u32) -> Option<VersionMeta> {
+        let inner = self.inner.lock();
+        let h = inner.histories.get(path)?;
+        h.versions
+            .iter()
+            .find(|v| v.number == number)
+            .map(VersionRec::meta)
+    }
+
+    /// The body of one stored version, reassembled from its chunks.
+    /// Versions are immutable, so this needs no path plan — the chunk
+    /// table is read atomically under the store mutex.
+    pub fn version_body(&self, path: &str, number: u32) -> Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        let h = inner
+            .histories
+            .get(path)
+            .ok_or_else(|| DavError::NotFound(format!("{path} is not versioned")))?;
+        let v = h
+            .versions
+            .iter()
+            .find(|v| v.number == number)
+            .ok_or_else(|| DavError::NotFound(format!("{path} version {number}")))?;
+        Ok(inner.assemble(v))
+    }
+
+    /// Resolve a `/.well-known/history/...` target against the current
+    /// set of histories. A versioned path wins over a trailing version
+    /// number (for `/a/1` under version control, `…/history/a/1` is its
+    /// index, not version 1 of `/a`).
+    pub fn parse_history_target<'a>(&self, target: &'a str) -> Option<HistoryTarget<'a>> {
+        let rest = target.strip_prefix(HISTORY_PREFIX)?;
+        if !rest.starts_with('/') {
+            return None;
+        }
+        if self.is_versioned(rest) {
+            return Some(HistoryTarget::Index(rest));
+        }
+        let (head, tail) = rest.rsplit_once('/')?;
+        let number: u32 = tail.parse().ok()?;
+        if !head.is_empty() && self.is_versioned(head) {
+            Some(HistoryTarget::Version(head, number))
+        } else {
+            None
+        }
+    }
+
+    /// Aggregate statistics (chunk accounting counts live chunks only).
+    pub fn stats(&self) -> VersionStats {
+        let inner = self.inner.lock();
+        let mut s = VersionStats {
+            resources: inner.histories.len() as u64,
+            ..VersionStats::default()
+        };
+        for h in inner.histories.values() {
+            s.versions += h.versions.len() as u64;
+            s.logical_bytes += h.versions.iter().map(|v| v.len).sum::<u64>();
+            s.checked_out += u64::from(h.checked_out);
+        }
+        for vec in inner.chunks.values() {
+            for b in vec {
+                if b.refs > 0 {
+                    s.chunks += 1;
+                    s.chunk_bytes += b.data.as_ref().map_or(0, |d| d.len() as u64);
+                }
+            }
+        }
+        s
+    }
+
+    // ---- DeltaV operations ----
+
+    /// Handle `VERSION-CONTROL`: put the target under version control
+    /// (idempotent per RFC 3253). Version 1 is the current content.
     pub fn version_control(&self, repo: &dyn Repository, req: &Request) -> Result<Response> {
         let path = req.target.path();
+        let _plan = self.locks.write(path);
         let meta = repo.meta(path)?;
         if meta.is_collection {
             return Err(DavError::BadRequest(
                 "collections cannot be version-controlled".into(),
             ));
         }
-        let mut h = self.histories.lock();
-        if h.contains_key(path) {
-            // Idempotent per DeltaV.
+        if self.is_versioned(path) {
             return Ok(Response::ok());
         }
         let content = repo.get(path)?;
-        let history = vec![Version { number: 1, content }];
-        self.persist(path, &history);
-        h.insert(path.to_owned(), history);
+        self.start_history(path, &content);
+        self.emit(VersionEvent::VersionControl {
+            path: path.to_owned(),
+            content,
+        });
         Ok(Response::ok())
     }
 
-    /// Called by the handler before a PUT overwrites a versioned
-    /// resource: append the *new* content as a version after the write.
-    /// (We snapshot post-write so the newest version always matches the
-    /// stored document.)
-    pub fn snapshot_if_versioned(&self, repo: &dyn Repository, path: &str) -> Result<()> {
-        // Snapshot the incoming state lazily: the handler calls this
-        // before writing, so we record the current (soon-to-be-previous)
-        // content only if it differs from the newest stored version.
-        let mut h = self.histories.lock();
-        let Some(history) = h.get_mut(path) else {
-            return Ok(());
+    /// Replay-side `VERSION-CONTROL` (no journal emission). Returns
+    /// false when the path was already versioned.
+    pub fn apply_version_control(&self, path: &str, content: &[u8]) -> bool {
+        let _plan = self.locks.write(path);
+        if self.is_versioned(path) {
+            return false;
+        }
+        self.start_history(path, content);
+        true
+    }
+
+    fn start_history(&self, path: &str, content: &[u8]) {
+        let mut inner = self.inner.lock();
+        let rec = self.store_version(&mut inner, 1, content);
+        inner.histories.insert(
+            path.to_owned(),
+            History {
+                versions: vec![rec],
+                checked_out: false,
+            },
+        );
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.persist(&inner, path);
+    }
+
+    /// Handle `CHECKOUT`: suspend auto-versioning until `CHECKIN`.
+    pub fn checkout(&self, _repo: &dyn Repository, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        let _plan = self.locks.write(path);
+        {
+            let mut inner = self.inner.lock();
+            let h = inner.histories.get_mut(path).ok_or_else(|| {
+                DavError::Conflict(format!("{path} is not under version control"))
+            })?;
+            if h.checked_out {
+                return Err(DavError::Conflict(format!("{path} is already checked out")));
+            }
+            h.checked_out = true;
+            self.persist(&inner, path);
+        }
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        self.emit(VersionEvent::Checkout {
+            path: path.to_owned(),
+        });
+        Ok(Response::ok())
+    }
+
+    /// Replay-side `CHECKOUT` (tolerant: false when not versioned).
+    pub fn apply_checkout(&self, path: &str) -> bool {
+        let _plan = self.locks.write(path);
+        let mut inner = self.inner.lock();
+        match inner.histories.get_mut(path) {
+            Some(h) => {
+                h.checked_out = true;
+                self.persist(&inner, path);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Handle `CHECKIN`: record exactly one new version from the
+    /// current content and resume normal gating. Answers 201 with the
+    /// new version's history URL in `Location`.
+    pub fn checkin(&self, repo: &dyn Repository, req: &Request) -> Result<Response> {
+        let path = req.target.path();
+        let _plan = self.locks.write(path);
+        {
+            let inner = self.inner.lock();
+            let h = inner.histories.get(path).ok_or_else(|| {
+                DavError::Conflict(format!("{path} is not under version control"))
+            })?;
+            if !h.checked_out {
+                return Err(DavError::Conflict(format!("{path} is not checked out")));
+            }
+        }
+        let content = repo.get(path)?;
+        let number = self.record_checkin(path, &content);
+        self.checkins.fetch_add(1, Ordering::Relaxed);
+        self.emit(VersionEvent::Checkin {
+            path: path.to_owned(),
+            content,
+        });
+        Ok(Response::created()
+            .with_header(
+                "Location",
+                pse_http::uri::percent_encode_path(&history_url(path, number)),
+            )
+            .with_header("X-Version", number.to_string()))
+    }
+
+    /// Replay-side `CHECKIN` (tolerant: false when not versioned).
+    pub fn apply_checkin(&self, path: &str, content: &[u8]) -> bool {
+        let _plan = self.locks.write(path);
+        if !self.is_versioned(path) {
+            return false;
+        }
+        self.record_checkin(path, content);
+        true
+    }
+
+    /// Append a version unconditionally (a checkin records even
+    /// unchanged content — the revision marks a user decision) and
+    /// clear the checked-out flag.
+    fn record_checkin(&self, path: &str, content: &[u8]) -> u32 {
+        let mut inner = self.inner.lock();
+        let number = {
+            let h = inner
+                .histories
+                .get(path)
+                .expect("checked by callers under the write plan");
+            h.versions.last().map_or(1, |v| v.number + 1)
         };
-        let current = repo.get(path)?;
-        let newest = history.last().expect("histories are never empty");
-        if newest.content != current {
-            let number = newest.number + 1;
-            history.push(Version {
-                number,
-                content: current,
-            });
-            self.persist(path, history);
+        let rec = self.store_version(&mut inner, number, content);
+        let h = inner.histories.get_mut(path).expect("still present");
+        h.versions.push(rec);
+        h.checked_out = false;
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.persist(&inner, path);
+        number
+    }
+
+    /// May a PUT proceed against `path`? 409 when the resource is
+    /// version-controlled, auto-versioning is off, and it is not
+    /// checked out (RFC 3253 §3.10: a checked-in version-controlled
+    /// resource refuses content mutation).
+    pub fn check_put_allowed(&self, path: &str) -> Result<()> {
+        if self.auto_version() {
+            return Ok(());
+        }
+        let inner = self.inner.lock();
+        if let Some(h) = inner.histories.get(path) {
+            if !h.checked_out {
+                return Err(DavError::Conflict(format!(
+                    "{path} is checked in; CHECKOUT before modifying"
+                )));
+            }
         }
         Ok(())
     }
 
-    /// Record the just-written content as the newest version (called by
-    /// the handler after a successful PUT on a versioned resource).
+    /// Record the just-written content as the newest version. Called by
+    /// the handler (and the replication applier) after a successful PUT
+    /// **while holding [`plan_write`](Self::plan_write)**. No-op unless
+    /// the path is versioned, auto-versioning is on, and the resource
+    /// is not checked out; identical content is not duplicated.
     pub fn record_put(&self, path: &str, content: &[u8]) {
-        let mut h = self.histories.lock();
-        if let Some(history) = h.get_mut(path) {
-            let newest = history.last().expect("histories are never empty");
-            if newest.content != content {
-                let number = newest.number + 1;
-                history.push(Version {
-                    number,
-                    content: content.to_vec(),
-                });
-                self.persist(path, history);
+        if !self.auto_version() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let Some(h) = inner.histories.get(path) else {
+            return;
+        };
+        if h.checked_out {
+            return; // CHECKIN will capture the final state.
+        }
+        let number = match h.versions.last() {
+            Some(newest) => {
+                if newest.len == content.len() as u64 && inner.assemble(newest) == content {
+                    return;
+                }
+                newest.number + 1
             }
+            None => 1,
+        };
+        let rec = self.store_version(&mut inner, number, content);
+        inner
+            .histories
+            .get_mut(path)
+            .expect("checked above")
+            .versions
+            .push(rec);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.persist(&inner, path);
+    }
+
+    /// Count one revert (COPY from a version URL) for the metrics.
+    pub fn note_revert(&self) {
+        self.reverts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// History follows MOVE: re-home `src`'s history at `dst`. Called
+    /// with [`plan_rename`](Self::plan_rename) held.
+    pub fn rename(&self, src: &str, dst: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(h) = inner.histories.remove(src) {
+            if let Some(dir) = &self.dir {
+                let _ = fs::remove_file(dir.join("meta").join(escape_history_filename(src)));
+            }
+            inner.histories.insert(dst.to_owned(), h);
+            self.persist(&inner, dst);
         }
     }
 
-    /// Handle `REPORT`.
+    /// Prune `path`'s history to its newest `keep` versions, releasing
+    /// chunk references and deleting chunks (and their files) nothing
+    /// references any more. Returns the number of versions removed.
+    pub fn prune(&self, path: &str, keep: usize) -> usize {
+        let _plan = self.locks.write(path);
+        let mut inner = self.inner.lock();
+        let Some(h) = inner.histories.get_mut(path) else {
+            return 0;
+        };
+        let n = h.versions.len().saturating_sub(keep.max(1));
+        if n == 0 {
+            return 0;
+        }
+        let removed: Vec<VersionRec> = h.versions.drain(..n).collect();
+        let mut freed_chunks = 0u64;
+        let mut freed_bytes = 0u64;
+        for v in &removed {
+            for id in &v.chunks {
+                if let Some(bytes) = inner.release_chunk(*id) {
+                    freed_chunks += 1;
+                    freed_bytes += bytes as u64;
+                    if let Some(dir) = &self.dir {
+                        let _ = fs::remove_file(dir.join("chunks").join(chunk_filename(*id)));
+                    }
+                }
+            }
+        }
+        self.gc_chunks.fetch_add(freed_chunks, Ordering::Relaxed);
+        self.gc_bytes.fetch_add(freed_bytes, Ordering::Relaxed);
+        self.persist(&inner, path);
+        n
+    }
+
+    /// Debug check: recompute refcounts from every manifest and compare
+    /// against the live chunk table. Detects orphaned chunks (retained
+    /// with no referent), prematurely-freed chunks (referenced but
+    /// gone), refcount drift, and hash mismatches.
+    pub fn verify_consistency(&self) -> std::result::Result<(), String> {
+        let inner = self.inner.lock();
+        let mut expected: HashMap<ChunkId, u64> = HashMap::new();
+        for (path, h) in &inner.histories {
+            for v in &h.versions {
+                let mut total = 0u64;
+                for id in &v.chunks {
+                    *expected.entry(*id).or_default() += 1;
+                    let ok = inner
+                        .chunks
+                        .get(&id.hash)
+                        .and_then(|vec| vec.get(id.bucket as usize))
+                        .and_then(|b| b.data.as_ref());
+                    match ok {
+                        None => {
+                            return Err(format!(
+                                "{path} v{}: chunk {:016x}.{} freed while referenced",
+                                v.number, id.hash, id.bucket
+                            ))
+                        }
+                        Some(data) => {
+                            if pse_cache::fnv1a_64(data) != id.hash {
+                                return Err(format!(
+                                    "chunk {:016x}.{}: stored bytes hash differently",
+                                    id.hash, id.bucket
+                                ));
+                            }
+                            total += data.len() as u64;
+                        }
+                    }
+                }
+                if total != v.len {
+                    return Err(format!(
+                        "{path} v{}: chunk lengths sum to {total}, manifest says {}",
+                        v.number, v.len
+                    ));
+                }
+            }
+        }
+        for (hash, vec) in &inner.chunks {
+            for (bucket, b) in vec.iter().enumerate() {
+                let id = ChunkId {
+                    hash: *hash,
+                    bucket: bucket as u32,
+                };
+                let want = expected.get(&id).copied().unwrap_or(0);
+                if b.refs != want {
+                    return Err(format!(
+                        "chunk {hash:016x}.{bucket}: refcount {} but {} references",
+                        b.refs, want
+                    ));
+                }
+                if b.refs == 0 && b.data.is_some() {
+                    return Err(format!("chunk {hash:016x}.{bucket}: orphan retained"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- REPORT ----
+
+    /// Handle `REPORT` (`DAV:version-tree`, `DAV:version-content`).
+    /// Takes the resource's read plan so a concurrent versioned PUT —
+    /// which holds the write plan across the repository write *and* the
+    /// history append — can never be observed half-recorded.
     pub fn report(&self, repo: &dyn Repository, req: &Request) -> Result<Response> {
         let path = req.target.path();
+        let _plan = self.locks.read(path);
         if !repo.exists(path) {
             return Err(DavError::NotFound(path.to_owned()));
         }
@@ -188,18 +839,16 @@ impl VersionStore {
                 .ok_or_else(|| {
                     DavError::BadRequest("version-content needs a numeric DAV:version".into())
                 })?;
-            let h = self.histories.lock();
-            let history = h
-                .get(path)
-                .ok_or_else(|| DavError::BadRequest("resource is not versioned".into()))?;
-            let v = history
-                .iter()
-                .find(|v| v.number == number)
-                .ok_or_else(|| DavError::NotFound(format!("{path} version {number}")))?;
+            let body = self.version_body(path, number).map_err(|e| match e {
+                DavError::NotFound(m) if m.ends_with("not versioned") => {
+                    DavError::BadRequest("resource is not versioned".into())
+                }
+                other => other,
+            })?;
             return Ok(Response::ok()
                 .with_header("Content-Type", "application/octet-stream")
                 .with_header("X-Version", number.to_string())
-                .with_body(v.content.clone()));
+                .with_body(body));
         }
         Err(DavError::BadRequest(
             "supported reports: DAV:version-tree, DAV:version-content".into(),
@@ -207,26 +856,225 @@ impl VersionStore {
     }
 
     fn version_tree_report(&self, path: &str) -> Result<Response> {
-        let h = self.histories.lock();
+        let inner = self.inner.lock();
         let mut tree = Element::new(Some(DAV_NS), "version-tree");
-        if let Some(history) = h.get(path) {
-            for v in history {
-                let mut ve = Element::new(Some(DAV_NS), "version");
-                let mut num = Element::new(Some(DAV_NS), "version-name");
-                num.push_text(v.number.to_string());
-                ve.push_elem(num);
-                let mut len = Element::new(Some(DAV_NS), "getcontentlength");
-                len.push_text(v.content.len().to_string());
-                ve.push_elem(len);
-                tree.push_elem(ve);
+        if let Some(h) = inner.histories.get(path) {
+            let newest = h.versions.last().map(|v| v.number);
+            for v in &h.versions {
+                let checked_in = !h.checked_out && newest == Some(v.number);
+                tree.push_elem(version_element(path, &v.meta(), checked_in));
             }
         }
         let xml = Writer::new().write_document(&Document::with_root(tree));
         Ok(Response::new(StatusCode::OK).with_xml_body(xml))
     }
+
+    // ---- persistence ----
+
+    /// Write `path`'s manifest through to disk (no-op for memory-only
+    /// stores). Called with the store mutex held, so persisted state
+    /// never interleaves between two concurrent mutations.
+    fn persist(&self, inner: &Inner, path: &str) {
+        let Some(dir) = &self.dir else { return };
+        let Some(h) = inner.histories.get(path) else {
+            return;
+        };
+        let file = dir.join("meta").join(escape_history_filename(path));
+        let tmp = dir
+            .join("meta")
+            .join(format!("{}.tmp", escape_history_filename(path)));
+        let bytes = encode_history(path, h);
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+            fs::rename(&tmp, &file)
+        };
+        if let Err(e) = write() {
+            eprintln!("pse-dav: failed to persist version history for {path}: {e}");
+        }
+    }
+
+    /// Chunk `content`, intern every chunk (bumping refcounts), and
+    /// write freshly-stored chunk files through to disk.
+    fn store_version(&self, inner: &mut Inner, number: u32, content: &[u8]) -> VersionRec {
+        let mut ids = Vec::new();
+        for c in cdc::chunk(content, ChunkParams::default()) {
+            let bytes = &content[c.offset..c.offset + c.len];
+            let (id, fresh) = inner.intern_chunk(c.hash, bytes);
+            if fresh {
+                self.persist_chunk(id, bytes);
+            }
+            ids.push(id);
+        }
+        VersionRec {
+            number,
+            created: now_secs(),
+            len: content.len() as u64,
+            chunks: ids,
+        }
+    }
+
+    fn persist_chunk(&self, id: ChunkId, data: &[u8]) {
+        let Some(dir) = &self.dir else { return };
+        let file = dir.join("chunks").join(chunk_filename(id));
+        let tmp = dir.join("chunks").join(format!("{}.tmp", chunk_filename(id)));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_data()?;
+            fs::rename(&tmp, &file)
+        };
+        if let Err(e) = write() {
+            eprintln!(
+                "pse-dav: failed to persist chunk {:016x}.{}: {e}",
+                id.hash, id.bucket
+            );
+        }
+    }
+
+    /// Contribute store gauges and counters under `prefix.*`.
+    pub fn register_obs(self: &Arc<Self>, registry: &Arc<pse_obs::Registry>, prefix: &str) {
+        let weak: Weak<Self> = Arc::downgrade(self);
+        let prefix = prefix.to_string();
+        registry.register_source(&prefix.clone(), move |snap| {
+            let Some(store) = weak.upgrade() else { return };
+            let s = store.stats();
+            snap.set_gauge(&format!("{prefix}.resources"), s.resources as i64);
+            snap.set_gauge(&format!("{prefix}.versions"), s.versions as i64);
+            snap.set_gauge(&format!("{prefix}.chunks"), s.chunks as i64);
+            snap.set_gauge(&format!("{prefix}.chunk_bytes"), s.chunk_bytes as i64);
+            snap.set_gauge(&format!("{prefix}.logical_bytes"), s.logical_bytes as i64);
+            snap.set_gauge(&format!("{prefix}.checked_out"), s.checked_out as i64);
+            snap.set_counter(
+                &format!("{prefix}.checkouts"),
+                store.checkouts.load(Ordering::Relaxed),
+            );
+            snap.set_counter(
+                &format!("{prefix}.checkins"),
+                store.checkins.load(Ordering::Relaxed),
+            );
+            snap.set_counter(
+                &format!("{prefix}.reverts"),
+                store.reverts.load(Ordering::Relaxed),
+            );
+            snap.set_counter(
+                &format!("{prefix}.versions_recorded"),
+                store.recorded.load(Ordering::Relaxed),
+            );
+            snap.set_counter(
+                &format!("{prefix}.gc_chunks_freed"),
+                store.gc_chunks.load(Ordering::Relaxed),
+            );
+            snap.set_counter(
+                &format!("{prefix}.gc_bytes_freed"),
+                store.gc_bytes.load(Ordering::Relaxed),
+            );
+        });
+    }
 }
 
-/// One history file per resource, named by escaping the resource path
+/// Build the `<D:version>` element shared by REPORT and history
+/// PROPFIND: name, creation date, length, checked-in flag, and the
+/// version's history URL.
+fn version_element(path: &str, v: &VersionMeta, checked_in: bool) -> Element {
+    let created = UNIX_EPOCH + std::time::Duration::from_secs(v.created);
+    let mut ve = Element::new(Some(DAV_NS), "version");
+    let mut e = Element::new(Some(DAV_NS), "version-name");
+    e.push_text(v.number.to_string());
+    ve.push_elem(e);
+    let mut e = Element::new(Some(DAV_NS), "creationdate");
+    e.push_text(format_iso8601(created));
+    ve.push_elem(e);
+    let mut e = Element::new(Some(DAV_NS), "getcontentlength");
+    e.push_text(v.len.to_string());
+    ve.push_elem(e);
+    let mut e = Element::new(Some(DAV_NS), "checked-in");
+    e.push_text(if checked_in { "true" } else { "false" });
+    ve.push_elem(e);
+    let mut e = Element::new(Some(DAV_NS), "href");
+    e.push_text(history_url(path, v.number));
+    ve.push_elem(e);
+    ve
+}
+
+impl Inner {
+    /// Insert (or re-reference) one chunk; true when newly stored.
+    fn intern_chunk(&mut self, hash: u64, bytes: &[u8]) -> (ChunkId, bool) {
+        let vec = self.chunks.entry(hash).or_default();
+        let mut tombstone = None;
+        for (i, b) in vec.iter_mut().enumerate() {
+            if b.refs > 0 {
+                if b.data.as_deref() == Some(bytes) {
+                    b.refs += 1;
+                    return (
+                        ChunkId {
+                            hash,
+                            bucket: i as u32,
+                        },
+                        false,
+                    );
+                }
+            } else if tombstone.is_none() {
+                tombstone = Some(i);
+            }
+        }
+        let bucket = match tombstone {
+            Some(i) => {
+                vec[i] = Bucket {
+                    data: Some(bytes.to_vec()),
+                    refs: 1,
+                };
+                i
+            }
+            None => {
+                vec.push(Bucket {
+                    data: Some(bytes.to_vec()),
+                    refs: 1,
+                });
+                vec.len() - 1
+            }
+        };
+        (
+            ChunkId {
+                hash,
+                bucket: bucket as u32,
+            },
+            true,
+        )
+    }
+
+    /// Drop one reference; Some(len) when the chunk was freed.
+    fn release_chunk(&mut self, id: ChunkId) -> Option<usize> {
+        let b = self
+            .chunks
+            .get_mut(&id.hash)
+            .and_then(|v| v.get_mut(id.bucket as usize))?;
+        b.refs = b.refs.saturating_sub(1);
+        if b.refs == 0 {
+            b.data.take().map(|d| d.len())
+        } else {
+            None
+        }
+    }
+
+    fn assemble(&self, v: &VersionRec) -> Vec<u8> {
+        let mut out = Vec::with_capacity(v.len as usize);
+        for id in &v.chunks {
+            if let Some(data) = self
+                .chunks
+                .get(&id.hash)
+                .and_then(|vec| vec.get(id.bucket as usize))
+                .and_then(|b| b.data.as_ref())
+            {
+                out.extend_from_slice(data);
+            }
+        }
+        out
+    }
+}
+
+/// One manifest file per resource, named by escaping the resource path
 /// (`[A-Za-z0-9._-]` kept, every other byte `%XX`-encoded) so distinct
 /// paths always map to distinct filenames.
 fn escape_history_filename(path: &str) -> String {
@@ -240,47 +1088,95 @@ fn escape_history_filename(path: &str) -> String {
     out
 }
 
-/// History file layout (all integers u32 LE):
-/// `path_len path_bytes version_count (number content_len content)*`.
-fn encode_history(path: &str, history: &[Version]) -> Vec<u8> {
+fn chunk_filename(id: ChunkId) -> String {
+    format!("{:016x}.{}", id.hash, id.bucket)
+}
+
+fn parse_chunk_filename(name: &str) -> Option<ChunkId> {
+    let (hash, bucket) = name.split_once('.')?;
+    if hash.len() != 16 {
+        return None;
+    }
+    Some(ChunkId {
+        hash: u64::from_str_radix(hash, 16).ok()?,
+        bucket: bucket.parse().ok()?,
+    })
+}
+
+/// Manifest layout (integers LE):
+/// `u32 path_len, path, u8 checked_out, u32 count,`
+/// then per version `u32 number, u64 created, u64 len, u32 nchunks,`
+/// then per chunk `u64 hash, u32 bucket`.
+fn encode_history(path: &str, h: &History) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&(path.len() as u32).to_le_bytes());
     out.extend_from_slice(path.as_bytes());
-    out.extend_from_slice(&(history.len() as u32).to_le_bytes());
-    for v in history {
+    out.push(u8::from(h.checked_out));
+    out.extend_from_slice(&(h.versions.len() as u32).to_le_bytes());
+    for v in &h.versions {
         out.extend_from_slice(&v.number.to_le_bytes());
-        out.extend_from_slice(&(v.content.len() as u32).to_le_bytes());
-        out.extend_from_slice(&v.content);
+        out.extend_from_slice(&v.created.to_le_bytes());
+        out.extend_from_slice(&v.len.to_le_bytes());
+        out.extend_from_slice(&(v.chunks.len() as u32).to_le_bytes());
+        for id in &v.chunks {
+            out.extend_from_slice(&id.hash.to_le_bytes());
+            out.extend_from_slice(&id.bucket.to_le_bytes());
+        }
     }
     out
 }
 
-fn decode_history(bytes: &[u8]) -> Option<(String, Vec<Version>)> {
+fn decode_history(bytes: &[u8]) -> Option<(String, History)> {
     fn take_u32(bytes: &[u8], at: &mut usize) -> Option<u32> {
         let v = u32::from_le_bytes(bytes.get(*at..*at + 4)?.try_into().ok()?);
         *at += 4;
         Some(v)
     }
-    fn take(bytes: &[u8], at: &mut usize, len: usize) -> Option<Vec<u8>> {
-        let v = bytes.get(*at..*at + len)?.to_vec();
-        *at += len;
+    fn take_u64(bytes: &[u8], at: &mut usize) -> Option<u64> {
+        let v = u64::from_le_bytes(bytes.get(*at..*at + 8)?.try_into().ok()?);
+        *at += 8;
         Some(v)
     }
     let mut at = 0usize;
     let path_len = take_u32(bytes, &mut at)? as usize;
-    let path = String::from_utf8(take(bytes, &mut at, path_len)?).ok()?;
+    let path = String::from_utf8(bytes.get(at..at + path_len)?.to_vec()).ok()?;
+    at += path_len;
+    let checked_out = match bytes.get(at)? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    at += 1;
     let count = take_u32(bytes, &mut at)? as usize;
-    let mut history = Vec::with_capacity(count.min(1024));
+    let mut versions = Vec::with_capacity(count.min(1024));
     for _ in 0..count {
         let number = take_u32(bytes, &mut at)?;
-        let len = take_u32(bytes, &mut at)? as usize;
-        let content = take(bytes, &mut at, len)?;
-        history.push(Version { number, content });
+        let created = take_u64(bytes, &mut at)?;
+        let len = take_u64(bytes, &mut at)?;
+        let nchunks = take_u32(bytes, &mut at)? as usize;
+        let mut chunks = Vec::with_capacity(nchunks.min(4096));
+        for _ in 0..nchunks {
+            let hash = take_u64(bytes, &mut at)?;
+            let bucket = take_u32(bytes, &mut at)?;
+            chunks.push(ChunkId { hash, bucket });
+        }
+        versions.push(VersionRec {
+            number,
+            created,
+            len,
+            chunks,
+        });
     }
-    if at != bytes.len() || history.is_empty() {
+    if at != bytes.len() || versions.is_empty() {
         return None; // truncated tail or trailing garbage: skip the file
     }
-    Some((path, history))
+    Some((
+        path,
+        History {
+            versions,
+            checked_out,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -289,47 +1185,104 @@ mod tests {
     use crate::memrepo::MemRepository;
     use pse_http::Method;
 
+    fn vc(store: &VersionStore, repo: &MemRepository, path: &str) {
+        store
+            .version_control(repo, &Request::new(Method::VersionControl, path))
+            .unwrap();
+    }
+
     #[test]
     fn version_control_then_history_grows() {
         let repo = MemRepository::new();
         repo.put("/doc", b"v1", None).unwrap();
         let store = VersionStore::new();
-        let req = Request::new(Method::VersionControl, "/doc");
-        assert_eq!(
-            store.version_control(&repo, &req).unwrap().status.code(),
-            200
-        );
+        vc(&store, &repo, "/doc");
         assert!(store.is_versioned("/doc"));
         assert_eq!(store.version_count("/doc"), 1);
 
-        // Simulate two PUTs (handler calls snapshot, repo writes).
-        store.snapshot_if_versioned(&repo, "/doc").unwrap();
         repo.put("/doc", b"v2", None).unwrap();
         store.record_put("/doc", b"v2");
-        store.snapshot_if_versioned(&repo, "/doc").unwrap();
         repo.put("/doc", b"v3", None).unwrap();
         store.record_put("/doc", b"v3");
         assert_eq!(store.version_count("/doc"), 3);
+        assert_eq!(store.version_body("/doc", 1).unwrap(), b"v1");
+        assert_eq!(store.version_body("/doc", 3).unwrap(), b"v3");
+        store.verify_consistency().unwrap();
     }
 
     #[test]
-    fn version_control_is_idempotent() {
+    fn version_control_is_idempotent_and_rejects_collections() {
         let repo = MemRepository::new();
         repo.put("/doc", b"x", None).unwrap();
+        repo.mkcol("/c").unwrap();
         let store = VersionStore::new();
-        let req = Request::new(Method::VersionControl, "/doc");
-        store.version_control(&repo, &req).unwrap();
-        store.version_control(&repo, &req).unwrap();
+        vc(&store, &repo, "/doc");
+        vc(&store, &repo, "/doc");
+        assert_eq!(store.version_count("/doc"), 1);
+        let req = Request::new(Method::VersionControl, "/c");
+        assert!(store.version_control(&repo, &req).is_err());
+    }
+
+    #[test]
+    fn identical_content_not_duplicated() {
+        let repo = MemRepository::new();
+        repo.put("/doc", b"same", None).unwrap();
+        let store = VersionStore::new();
+        vc(&store, &repo, "/doc");
+        store.record_put("/doc", b"same");
         assert_eq!(store.version_count("/doc"), 1);
     }
 
     #[test]
-    fn collections_rejected() {
+    fn checkout_suspends_auto_versioning_until_checkin() {
         let repo = MemRepository::new();
-        repo.mkcol("/c").unwrap();
+        repo.put("/doc", b"base", None).unwrap();
         let store = VersionStore::new();
-        let req = Request::new(Method::VersionControl, "/c");
-        assert!(store.version_control(&repo, &req).is_err());
+        vc(&store, &repo, "/doc");
+
+        let co = Request::new(Method::Checkout, "/doc");
+        assert_eq!(store.checkout(&repo, &co).unwrap().status.code(), 200);
+        assert!(store.is_checked_out("/doc"));
+        // Double checkout refused.
+        assert!(store.checkout(&repo, &co).is_err());
+
+        // A storm of recorded PUTs while checked out: nothing recorded.
+        for i in 0..20 {
+            let body = format!("draft-{i}").into_bytes();
+            repo.put("/doc", &body, None).unwrap();
+            store.record_put("/doc", &body);
+        }
+        assert_eq!(store.version_count("/doc"), 1);
+
+        let ci = Request::new(Method::Checkin, "/doc");
+        let resp = store.checkin(&repo, &ci).unwrap();
+        assert_eq!(resp.status.code(), 201);
+        assert_eq!(
+            resp.headers.get("Location").unwrap(),
+            "/.well-known/history/doc/2"
+        );
+        assert_eq!(store.version_count("/doc"), 2);
+        assert_eq!(store.version_body("/doc", 2).unwrap(), b"draft-19");
+        assert!(!store.is_checked_out("/doc"));
+        // Checkin without checkout refused.
+        assert!(store.checkin(&repo, &ci).is_err());
+    }
+
+    #[test]
+    fn manual_mode_gates_put_until_checkout() {
+        let repo = MemRepository::new();
+        repo.put("/doc", b"base", None).unwrap();
+        let store = VersionStore::new();
+        store.set_auto_version(false);
+        vc(&store, &repo, "/doc");
+        let err = store.check_put_allowed("/doc").unwrap_err();
+        assert_eq!(err.status().code(), 409);
+        store
+            .checkout(&repo, &Request::new(Method::Checkout, "/doc"))
+            .unwrap();
+        store.check_put_allowed("/doc").unwrap();
+        // Unversioned paths are never gated.
+        store.check_put_allowed("/other").unwrap();
     }
 
     #[test]
@@ -337,9 +1290,7 @@ mod tests {
         let repo = MemRepository::new();
         repo.put("/doc", b"first", None).unwrap();
         let store = VersionStore::new();
-        store
-            .version_control(&repo, &Request::new(Method::VersionControl, "/doc"))
-            .unwrap();
+        vc(&store, &repo, "/doc");
         store.record_put("/doc", b"second-longer");
         repo.put("/doc", b"second-longer", None).unwrap();
 
@@ -347,17 +1298,26 @@ mod tests {
             .with_xml_body(r#"<D:version-tree xmlns:D="DAV:"/>"#);
         let resp = store.report(&repo, &req).unwrap();
         let text = resp.body_text();
-        assert!(text.contains("version-name"), "{text}");
         let doc = Document::parse(&text).unwrap();
-        assert_eq!(doc.root().children_elems().count(), 2);
+        let versions: Vec<_> = doc.root().children_named(Some(DAV_NS), "version").collect();
+        assert_eq!(versions.len(), 2);
+        // Newest (and only newest) is checked in; every entry carries a
+        // creation date and its history URL.
+        let flags: Vec<String> = versions
+            .iter()
+            .map(|v| v.child(Some(DAV_NS), "checked-in").unwrap().text())
+            .collect();
+        assert_eq!(flags, ["false", "true"]);
+        assert!(versions[0].child(Some(DAV_NS), "creationdate").is_some());
+        assert_eq!(
+            versions[1].child(Some(DAV_NS), "href").unwrap().text(),
+            "/.well-known/history/doc/2"
+        );
 
         let req = Request::new(Method::Report, "/doc").with_xml_body(
             r#"<D:version-content xmlns:D="DAV:"><D:version>1</D:version></D:version-content>"#,
         );
-        let resp = store.report(&repo, &req).unwrap();
-        assert_eq!(resp.body, b"first");
-
-        // Unknown version number.
+        assert_eq!(store.report(&repo, &req).unwrap().body, b"first");
         let req = Request::new(Method::Report, "/doc").with_xml_body(
             r#"<D:version-content xmlns:D="DAV:"><D:version>9</D:version></D:version-content>"#,
         );
@@ -374,6 +1334,104 @@ mod tests {
         let resp = store.report(&repo, &req).unwrap();
         let doc = Document::parse(&resp.body_text()).unwrap();
         assert_eq!(doc.root().children_elems().count(), 0);
+    }
+
+    #[test]
+    fn history_target_parsing() {
+        let repo = MemRepository::new();
+        repo.mkcol("/a").unwrap();
+        repo.put("/a/1", b"x", None).unwrap();
+        repo.put("/b", b"y", None).unwrap();
+        let store = VersionStore::new();
+        vc(&store, &repo, "/a/1");
+        vc(&store, &repo, "/b");
+        assert_eq!(
+            store.parse_history_target("/.well-known/history/b"),
+            Some(HistoryTarget::Index("/b"))
+        );
+        assert_eq!(
+            store.parse_history_target("/.well-known/history/b/1"),
+            Some(HistoryTarget::Version("/b", 1))
+        );
+        // A versioned path wins over a trailing version number.
+        assert_eq!(
+            store.parse_history_target("/.well-known/history/a/1"),
+            Some(HistoryTarget::Index("/a/1"))
+        );
+        assert_eq!(
+            store.parse_history_target("/.well-known/history/a/1/3"),
+            Some(HistoryTarget::Version("/a/1", 3))
+        );
+        assert_eq!(store.parse_history_target("/.well-known/history/nope"), None);
+        assert_eq!(store.parse_history_target("/other"), None);
+    }
+
+    #[test]
+    fn small_edits_share_chunks() {
+        let repo = MemRepository::new();
+        let mut body = vec![0u8; 512 * 1024];
+        let mut state = 1u64;
+        for b in body.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (state >> 33) as u8;
+        }
+        repo.put("/big", &body, None).unwrap();
+        let store = VersionStore::new();
+        vc(&store, &repo, "/big");
+        for i in 0..10 {
+            // ~1% edit at a moving offset.
+            let at = (i * 37) % (body.len() - 16);
+            body[at..at + 16].copy_from_slice(&[i as u8; 16]);
+            store.record_put("/big", &body);
+        }
+        let s = store.stats();
+        assert_eq!(s.versions, 11);
+        // Physical bytes must be far below the 11 full snapshots.
+        assert!(
+            s.chunk_bytes * 3 < s.logical_bytes,
+            "chunk_bytes {} logical {}",
+            s.chunk_bytes,
+            s.logical_bytes
+        );
+        store.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn prune_releases_chunks_and_stays_consistent() {
+        let repo = MemRepository::new();
+        repo.put("/doc", b"v1", None).unwrap();
+        let store = VersionStore::new();
+        vc(&store, &repo, "/doc");
+        for i in 0..5 {
+            store.record_put("/doc", format!("version-number-{i}").as_bytes());
+        }
+        assert_eq!(store.version_count("/doc"), 6);
+        let removed = store.prune("/doc", 2);
+        assert_eq!(removed, 4);
+        assert_eq!(store.version_count("/doc"), 2);
+        // Numbers are preserved for the survivors.
+        let (metas, _) = store.versions_of("/doc").unwrap();
+        assert_eq!(metas.iter().map(|m| m.number).collect::<Vec<_>>(), [5, 6]);
+        assert!(store.version_body("/doc", 1).is_err());
+        assert_eq!(store.version_body("/doc", 6).unwrap(), b"version-number-4");
+        store.verify_consistency().unwrap();
+        // Pruning to a floor of >= current count is a no-op.
+        assert_eq!(store.prune("/doc", 10), 0);
+    }
+
+    #[test]
+    fn rename_rehomes_history() {
+        let repo = MemRepository::new();
+        repo.put("/old", b"v1", None).unwrap();
+        let store = VersionStore::new();
+        vc(&store, &repo, "/old");
+        store.record_put("/old", b"v2");
+        store.rename("/old", "/new");
+        assert!(!store.is_versioned("/old"));
+        assert_eq!(store.version_count("/new"), 2);
+        assert_eq!(store.version_body("/new", 1).unwrap(), b"v1");
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -394,71 +1452,183 @@ mod tests {
         repo.put("/proj/calc output.log", b"v1", None).unwrap();
         {
             let store = VersionStore::persistent(&dir).unwrap();
-            store
-                .version_control(&repo, &Request::new(Method::VersionControl, "/proj/calc output.log"))
-                .unwrap();
+            vc(&store, &repo, "/proj/calc output.log");
             store.record_put("/proj/calc output.log", b"v2-longer");
+            store
+                .checkout(
+                    &repo,
+                    &Request::new(Method::Checkout, "/proj/calc output.log"),
+                )
+                .unwrap();
         }
-        // A fresh store (new process, same directory) sees the history.
+        // A fresh store (new process, same directory) sees the history
+        // including the checked-out flag.
         let store = VersionStore::persistent(&dir).unwrap();
         assert!(store.is_versioned("/proj/calc output.log"));
+        assert!(store.is_checked_out("/proj/calc output.log"));
         assert_eq!(store.version_count("/proj/calc output.log"), 2);
-        let req = Request::new(Method::Report, "/proj/calc output.log").with_xml_body(
-            r#"<D:version-content xmlns:D="DAV:"><D:version>1</D:version></D:version-content>"#,
+        assert_eq!(
+            store.version_body("/proj/calc output.log", 1).unwrap(),
+            b"v1"
         );
-        assert_eq!(store.report(&repo, &req).unwrap().body, b"v1");
+        store.verify_consistency().unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_history_files_are_skipped_on_load() {
+    fn corrupt_manifests_and_missing_chunks_are_skipped_on_load() {
         let dir = temp_dir("corrupt");
         let repo = MemRepository::new();
         repo.put("/good", b"ok", None).unwrap();
+        repo.put("/maimed", b"will lose its chunk", None).unwrap();
         {
             let store = VersionStore::persistent(&dir).unwrap();
-            store
-                .version_control(&repo, &Request::new(Method::VersionControl, "/good"))
-                .unwrap();
+            vc(&store, &repo, "/good");
+            vc(&store, &repo, "/maimed");
         }
-        fs::write(dir.join("%2Fbad"), b"\xFF\xFF not a history").unwrap();
+        fs::write(dir.join("meta").join("%2Fbad"), b"\xFF\xFF not a manifest").unwrap();
+        // Destroy /maimed's only chunk.
+        let maimed = decode_history(
+            &fs::read(dir.join("meta").join(escape_history_filename("/maimed"))).unwrap(),
+        )
+        .unwrap()
+        .1;
+        let id = maimed.versions[0].chunks[0];
+        fs::remove_file(dir.join("chunks").join(chunk_filename(id))).unwrap();
+
         let store = VersionStore::persistent(&dir).unwrap();
         assert!(store.is_versioned("/good"));
         assert!(!store.is_versioned("/bad"));
+        assert!(!store.is_versioned("/maimed"));
+        assert_eq!(store.version_body("/good", 1).unwrap(), b"ok");
+        store.verify_consistency().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_deletes_chunk_files_and_restart_gc_removes_orphans() {
+        let dir = temp_dir("gc");
+        let repo = MemRepository::new();
+        repo.put("/doc", b"aaaa", None).unwrap();
+        let store = VersionStore::persistent(&dir).unwrap();
+        vc(&store, &repo, "/doc");
+        store.record_put("/doc", b"bbbb-different");
+        let files_before = fs::read_dir(dir.join("chunks")).unwrap().count();
+        assert!(files_before >= 2);
+        store.prune("/doc", 1);
+        let files_after = fs::read_dir(dir.join("chunks")).unwrap().count();
+        assert!(files_after < files_before);
+        // Plant an orphan chunk file: a restart collects it.
+        fs::write(dir.join("chunks").join("deadbeefdeadbeef.0"), b"junk").unwrap();
+        let store = VersionStore::persistent(&dir).unwrap();
+        assert!(!dir.join("chunks").join("deadbeefdeadbeef.0").exists());
+        store.verify_consistency().unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn history_roundtrip_and_filename_escaping() {
-        let history = vec![
-            Version { number: 1, content: b"a".to_vec() },
-            Version { number: 2, content: vec![0, 1, 2, 255] },
-        ];
-        let bytes = encode_history("/x/y z", &history);
+        let h = History {
+            versions: vec![
+                VersionRec {
+                    number: 1,
+                    created: 1_700_000_000,
+                    len: 1,
+                    chunks: vec![ChunkId { hash: 7, bucket: 0 }],
+                },
+                VersionRec {
+                    number: 2,
+                    created: 1_700_000_100,
+                    len: 4,
+                    chunks: vec![
+                        ChunkId { hash: 7, bucket: 0 },
+                        ChunkId {
+                            hash: u64::MAX,
+                            bucket: 3,
+                        },
+                    ],
+                },
+            ],
+            checked_out: true,
+        };
+        let bytes = encode_history("/x/y z", &h);
         let (path, back) = decode_history(&bytes).unwrap();
         assert_eq!(path, "/x/y z");
-        assert_eq!(back.len(), 2);
-        assert_eq!(back[1].content, vec![0, 1, 2, 255]);
+        assert!(back.checked_out);
+        assert_eq!(back.versions.len(), 2);
+        assert_eq!(back.versions[1].chunks.len(), 2);
         // Truncation at any boundary is rejected, not mis-parsed.
         for cut in 0..bytes.len() {
             assert!(decode_history(&bytes[..cut]).is_none(), "cut at {cut}");
         }
-        // Distinct paths → distinct filenames; no path separators leak.
         let a = escape_history_filename("/a/b");
         let b = escape_history_filename("/a%2Fb");
         assert_ne!(a, b);
         assert!(!a.contains('/'), "{a}");
+        // Chunk filenames round-trip.
+        let id = ChunkId {
+            hash: 0x0123456789abcdef,
+            bucket: 42,
+        };
+        assert_eq!(parse_chunk_filename(&chunk_filename(id)), Some(id));
     }
 
     #[test]
-    fn identical_content_not_duplicated() {
-        let repo = MemRepository::new();
-        repo.put("/doc", b"same", None).unwrap();
+    fn colliding_hashes_get_distinct_buckets() {
         let store = VersionStore::new();
+        let mut inner = store.inner.lock();
+        let (a, fresh_a) = inner.intern_chunk(99, b"first body");
+        let (b, fresh_b) = inner.intern_chunk(99, b"other body");
+        let (a2, fresh_a2) = inner.intern_chunk(99, b"first body");
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a.bucket, b.bucket);
+        assert_eq!(inner.chunks.get(&99).unwrap().len(), 2);
+        // Free `a` (both refs) and the slot becomes a reusable tombstone.
+        assert!(inner.release_chunk(a).is_none());
+        assert!(inner.release_chunk(a).is_some());
+        let (c, fresh_c) = inner.intern_chunk(99, b"third body");
+        assert!(fresh_c);
+        assert_eq!(c.bucket, a.bucket, "tombstone slot re-used");
+    }
+
+    #[test]
+    fn journal_receives_events_in_order() {
+        use std::sync::Mutex as StdMutex;
+        let repo = MemRepository::new();
+        repo.put("/doc", b"base", None).unwrap();
+        let store = VersionStore::new();
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        store.set_journal(move |e| {
+            sink.lock().unwrap().push(match e {
+                VersionEvent::VersionControl { .. } => "vc",
+                VersionEvent::Checkout { .. } => "co",
+                VersionEvent::Checkin { .. } => "ci",
+            });
+        });
+        vc(&store, &repo, "/doc");
         store
-            .version_control(&repo, &Request::new(Method::VersionControl, "/doc"))
+            .checkout(&repo, &Request::new(Method::Checkout, "/doc"))
             .unwrap();
-        store.record_put("/doc", b"same");
-        assert_eq!(store.version_count("/doc"), 1);
+        repo.put("/doc", b"edited", None).unwrap();
+        store
+            .checkin(&repo, &Request::new(Method::Checkin, "/doc"))
+            .unwrap();
+        assert_eq!(*log.lock().unwrap(), ["vc", "co", "ci"]);
+    }
+
+    #[test]
+    fn replay_apis_reproduce_history_without_journaling() {
+        let store = VersionStore::new();
+        assert!(store.apply_version_control("/doc", b"v1"));
+        assert!(!store.apply_version_control("/doc", b"v1"));
+        assert!(store.apply_checkout("/doc"));
+        store.record_put("/doc", b"ignored while checked out");
+        assert!(store.apply_checkin("/doc", b"v2"));
+        assert_eq!(store.version_count("/doc"), 2);
+        assert_eq!(store.version_body("/doc", 2).unwrap(), b"v2");
+        assert!(!store.apply_checkout("/missing"));
+        assert!(!store.apply_checkin("/missing", b"x"));
     }
 }

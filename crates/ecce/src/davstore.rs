@@ -212,6 +212,53 @@ impl<S: DataStorage> DavEcceStore<S> {
             wall_seconds: meta[3].as_deref().and_then(|v| v.parse().ok()).unwrap_or(0.0),
         }))
     }
+
+    // ---- versioning: the revert-a-calculation flow ----
+    //
+    // Chemists edit a calculation's inputs in place; tracking puts the
+    // scientist-visible documents under version control so any of them
+    // can be restored to its pre-edit state without rerunning anything.
+
+    /// The documents of a calculation that history tracking covers.
+    fn tracked_documents(&mut self, calc_path: &str) -> Result<Vec<String>> {
+        let mut docs = Vec::new();
+        for name in ["molecule", "basisset", "input.nw"] {
+            let path = join_path(calc_path, name);
+            if self.storage.exists(&path)? {
+                docs.push(path);
+            }
+        }
+        Ok(docs)
+    }
+
+    /// Place the calculation's input documents (molecule, basis set,
+    /// input deck — whichever exist) under version control. Idempotent;
+    /// returns the tracked document paths.
+    pub fn track_calculation(&mut self, calc_path: &str) -> Result<Vec<String>> {
+        let docs = self.tracked_documents(calc_path)?;
+        for doc in &docs {
+            self.storage.version_control(doc)?;
+        }
+        Ok(docs)
+    }
+
+    /// Stored versions of the calculation's molecule, oldest first.
+    pub fn molecule_versions(&mut self, calc_path: &str) -> Result<Vec<u32>> {
+        self.storage.list_versions(&join_path(calc_path, "molecule"))
+    }
+
+    /// Restore the calculation's molecule to `version` (recorded as a
+    /// new version — history is append-only).
+    pub fn revert_molecule(&mut self, calc_path: &str, version: u32) -> Result<()> {
+        self.storage
+            .revert_to(&join_path(calc_path, "molecule"), version)
+    }
+
+    /// Restore the generated input deck to `version`.
+    pub fn revert_input_deck(&mut self, calc_path: &str, version: u32) -> Result<()> {
+        self.storage
+            .revert_to(&join_path(calc_path, "input.nw"), version)
+    }
 }
 
 impl<S: DataStorage> EcceStore for DavEcceStore<S> {

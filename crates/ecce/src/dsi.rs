@@ -60,6 +60,69 @@ pub trait DataStorage: Send {
     ) -> Result<Vec<(String, Vec<Option<String>>)>>;
     /// Find descendants whose `key` equals `value` (search).
     fn find_by_meta(&mut self, scope: &str, key: &str, value: &str) -> Result<Vec<String>>;
+
+    // ---- versioning (optional capability) ----
+    //
+    // The DeltaV surface of the storage protocol. Backends that cannot
+    // version (the in-process repository seam, data grids without
+    // history) report `Invalid` from the defaults; callers probe with
+    // `supports_versioning` before depending on history.
+
+    /// Does this backend support document versioning?
+    fn supports_versioning(&mut self) -> bool {
+        false
+    }
+
+    /// Place a document under version control (idempotent; the current
+    /// body becomes version 1).
+    fn version_control(&mut self, path: &str) -> Result<()> {
+        let _ = path;
+        Err(EcceError::Invalid(
+            "this storage backend does not support versioning".into(),
+        ))
+    }
+
+    /// Suspend auto-versioning on `path` until [`checkin`](Self::checkin).
+    fn checkout(&mut self, path: &str) -> Result<()> {
+        let _ = path;
+        Err(EcceError::Invalid(
+            "this storage backend does not support versioning".into(),
+        ))
+    }
+
+    /// Record exactly one new version from the current content and
+    /// resume normal gating; returns the new version number.
+    fn checkin(&mut self, path: &str) -> Result<u32> {
+        let _ = path;
+        Err(EcceError::Invalid(
+            "this storage backend does not support versioning".into(),
+        ))
+    }
+
+    /// Stored version numbers for `path`, oldest first.
+    fn list_versions(&mut self, path: &str) -> Result<Vec<u32>> {
+        let _ = path;
+        Err(EcceError::Invalid(
+            "this storage backend does not support versioning".into(),
+        ))
+    }
+
+    /// Read the body of one stored version.
+    fn read_version(&mut self, path: &str, version: u32) -> Result<Vec<u8>> {
+        let _ = (path, version);
+        Err(EcceError::Invalid(
+            "this storage backend does not support versioning".into(),
+        ))
+    }
+
+    /// Restore `path` to the body of `version` (the restore itself is
+    /// recorded as a new version, so history is never rewritten).
+    fn revert_to(&mut self, path: &str, version: u32) -> Result<()> {
+        let _ = (path, version);
+        Err(EcceError::Invalid(
+            "this storage backend does not support versioning".into(),
+        ))
+    }
 }
 
 fn ecce_prop(key: &str) -> PropertyName {
@@ -182,6 +245,39 @@ impl DataStorage for DavStorage {
     fn find_by_meta(&mut self, scope: &str, key: &str, value: &str) -> Result<Vec<String>> {
         let ms = self.client.search_eq(scope, &ecce_prop(key), value)?;
         Ok(ms.responses.into_iter().map(|r| r.href).collect())
+    }
+
+    fn supports_versioning(&mut self) -> bool {
+        true
+    }
+
+    fn version_control(&mut self, path: &str) -> Result<()> {
+        Ok(self.client.version_control(path)?)
+    }
+
+    fn checkout(&mut self, path: &str) -> Result<()> {
+        Ok(self.client.checkout(path)?)
+    }
+
+    fn checkin(&mut self, path: &str) -> Result<u32> {
+        Ok(self.client.checkin(path)?)
+    }
+
+    fn list_versions(&mut self, path: &str) -> Result<Vec<u32>> {
+        Ok(self
+            .client
+            .versions(path)?
+            .into_iter()
+            .map(|v| v.number)
+            .collect())
+    }
+
+    fn read_version(&mut self, path: &str, version: u32) -> Result<Vec<u8>> {
+        Ok(self.client.version_content(path, version)?)
+    }
+
+    fn revert_to(&mut self, path: &str, version: u32) -> Result<()> {
+        Ok(self.client.revert_to(path, version)?)
     }
 }
 

@@ -38,7 +38,16 @@
 #    repro_table2 --delta --check (a 1% edit re-PUT must move >= 10x
 #    fewer bytes on the wire than the full PUT), emitting
 #    target/bench-json/bulk.json.
-# 10. With --search: the indexed-search gate — the SEARCH correctness
+# 10. With --versions: the DeltaV gate — the versioning compliance +
+#    concurrency suite (RFC 3253 state machine, PUT-storm version
+#    granularity, history immutability, read-only history resources,
+#    mem/fs replay equivalence with a mid-history restart) under BOTH
+#    server cores, the ecce revert-a-calculation scenario, the cluster
+#    history-replication/rejoin test, and repro_versions --check
+#    (content-addressed storage for 50 x 1%-edit revisions of 2 MB
+#    must cost <= 25% of full snapshots, with byte-identical reads),
+#    emitting target/bench-json/versions.json.
+# 11. With --search: the indexed-search gate — the SEARCH correctness
 #    sweep (index ≡ scan equivalence proptests over mem/fs/logged
 #    repositories, the SEARCH-vs-DELETE race, gzip + fault-proxy
 #    round trips, pipelined framing on both cores), the JSON gateway
@@ -54,6 +63,7 @@ C10K=0
 CLUSTER=0
 BULK=0
 SEARCH=0
+VERSIONS=0
 for arg in "$@"; do
     case "$arg" in
         --stress) STRESS=1 ;;
@@ -61,6 +71,7 @@ for arg in "$@"; do
         --cluster) CLUSTER=1 ;;
         --bulk) BULK=1 ;;
         --search) SEARCH=1 ;;
+        --versions) VERSIONS=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -157,6 +168,23 @@ if [ "$SEARCH" = 1 ]; then
     echo "==> search gate: repro_search --check (>= 10x over walk-and-scan on 10k resources)"
     cargo build --release -p pse-bench --bin repro_search
     ./target/release/repro_search --check
+fi
+
+if [ "$VERSIONS" = 1 ]; then
+    echo "==> versions gate: compliance + concurrency suite under both server cores"
+    for mode in reactor threaded; do
+        echo "==> versions gate: core $mode"
+        PSE_HTTP_MODE=$mode cargo test -q -p pse-dav --test versioning
+    done
+    echo "==> versions gate: version store unit suite"
+    cargo test -q -p pse-dav --lib -- version::
+    echo "==> versions gate: revert-a-calculation scenario"
+    cargo test -q -p pse-ecce --test revert
+    echo "==> versions gate: history replication + replica rejoin through the cluster"
+    cargo test -q --test cluster -- version_history_replicates_and_survives_rejoin
+    echo "==> versions gate: repro_versions --check (CAS <= 25% of full snapshots)"
+    cargo build --release -p pse-bench --bin repro_versions
+    ./target/release/repro_versions --check
 fi
 
 echo "==> ci OK"
